@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) of the hot paths the paper's
+// scalability depends on: the analytic cost model (invoked thousands of
+// times by the search), access-graph construction, max-cut partitioning,
+// workload analysis and the full TS-GREEDY search.
+
+#include <benchmark/benchmark.h>
+
+#include "benchdata/tpch.h"
+#include "graph/partition.h"
+#include "io/queue_sim.h"
+#include "layout/search.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+const Database& TpchDb() {
+  static const Database db = benchdata::MakeTpchDatabase(1.0);
+  return db;
+}
+
+const WorkloadProfile& Tpch22Profile() {
+  static const WorkloadProfile profile = [] {
+    auto wl = benchdata::MakeTpch22Workload(TpchDb());
+    auto p = AnalyzeWorkload(TpchDb(), wl.value());
+    return std::move(p).value();
+  }();
+  return profile;
+}
+
+void BM_CostModelWorkloadCost(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  DiskFleet fleet = DiskFleet::Uniform(m);
+  const CostModel cm(fleet);
+  Layout layout =
+      Layout::FullStriping(static_cast<int>(TpchDb().Objects().size()), fleet);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.WorkloadCost(Tpch22Profile(), layout));
+  }
+}
+BENCHMARK(BM_CostModelWorkloadCost)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_AnalyzeWorkload(benchmark::State& state) {
+  auto wl = benchdata::MakeTpch22Workload(TpchDb()).value();
+  for (auto _ : state) {
+    auto profile = AnalyzeWorkload(TpchDb(), wl);
+    benchmark::DoNotOptimize(profile.ok());
+  }
+}
+BENCHMARK(BM_AnalyzeWorkload);
+
+void BM_BuildAccessGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    WeightedGraph g = BuildAccessGraph(Tpch22Profile());
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildAccessGraph);
+
+void BM_MaxCutPartition(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  WeightedGraph g(n);
+  for (size_t e = 0; e < n * 3; ++e) {
+    g.AddEdgeWeight(rng.Index(n), rng.Index(n), rng.UniformDouble(1, 100));
+  }
+  PartitionOptions opt;
+  opt.num_partitions = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCutPartition(g, opt));
+  }
+}
+BENCHMARK(BM_MaxCutPartition)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TsGreedySearch(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  DiskFleet fleet = DiskFleet::Heterogeneous(m, 0.3, 42);
+  ResolvedConstraints rc;
+  rc.required_avail.assign(TpchDb().Objects().size(), std::nullopt);
+  TsGreedySearch search(TpchDb(), fleet);
+  for (auto _ : state) {
+    auto result = search.Run(Tpch22Profile(), rc);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_TsGreedySearch)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_QueueSimMergeScan(benchmark::State& state) {
+  // Request-level simulation of two co-accessed 2000-block streams.
+  DiskDrive d;
+  d.name = "d";
+  d.capacity_blocks = 100'000;
+  std::vector<QueueStream> streams = {
+      QueueStream{ObjectExtent{0, 0, 2000}, 2000, false, false, false, 1},
+      QueueStream{ObjectExtent{0, 50'000, 2000}, 2000, false, false, false, 2},
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateQueueDisk(d, streams));
+  }
+}
+BENCHMARK(BM_QueueSimMergeScan);
+
+void BM_FullStripingBaseline(benchmark::State& state) {
+  DiskFleet fleet = DiskFleet::Uniform(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Layout::FullStriping(static_cast<int>(TpchDb().Objects().size()), fleet));
+  }
+}
+BENCHMARK(BM_FullStripingBaseline);
+
+}  // namespace
+}  // namespace dblayout
+
+BENCHMARK_MAIN();

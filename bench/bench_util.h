@@ -1,0 +1,68 @@
+// Shared helpers for the paper-reproduction bench binaries: workload
+// simulation, improvement math, and table printing.
+
+#ifndef DBLAYOUT_BENCH_BENCH_UTIL_H_
+#define DBLAYOUT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strutil.h"
+#include "engine/execution_sim.h"
+#include "layout/advisor.h"
+#include "workload/analyzer.h"
+
+namespace dblayout::bench {
+
+/// Simulated ("actual") execution time of an analyzed workload under a
+/// layout, in ms. Aborts the bench on error.
+inline double Simulate(const Database& db, const DiskFleet& fleet,
+                       const WorkloadProfile& profile, const Layout& layout,
+                       const ExecutionOptions& options = {}) {
+  ExecutionSimulator sim(db, fleet, options);
+  std::vector<WeightedPlan> plans;
+  plans.reserve(profile.statements.size());
+  for (const auto& s : profile.statements) {
+    plans.push_back(WeightedPlan{s.plan.get(), s.weight});
+  }
+  auto t = sim.ExecutePlans(plans, layout);
+  if (!t.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n", t.status().ToString().c_str());
+    std::exit(1);
+  }
+  return t.value();
+}
+
+inline double ImprovementPct(double baseline, double improved) {
+  return baseline > 0 ? 100.0 * (baseline - improved) / baseline : 0.0;
+}
+
+/// Wall-clock seconds of `fn`.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n== %s ==\n%s", title.c_str(), RenderTable(rows).c_str());
+}
+
+/// Unwraps a Result or aborts with its status.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace dblayout::bench
+
+#endif  // DBLAYOUT_BENCH_BENCH_UTIL_H_

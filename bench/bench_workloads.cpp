@@ -1,0 +1,83 @@
+// Table 1 of the paper: the workload inventory. Regenerates every workload
+// used by the experiments and prints its size and characteristics, plus the
+// database inventory backing them.
+
+#include "bench/bench_util.h"
+#include "benchdata/apb.h"
+#include "benchdata/sales.h"
+#include "benchdata/tpch.h"
+
+using namespace dblayout;
+using namespace dblayout::bench;
+
+namespace {
+
+double AvgTablesPerQuery(const Workload& wl) {
+  double total = 0;
+  for (const auto& s : wl.statements()) {
+    total += s.parsed.kind == SqlStatement::Kind::kSelect
+                 ? static_cast<double>(s.parsed.select.from.size())
+                 : 1.0;
+  }
+  return wl.empty() ? 0 : total / static_cast<double>(wl.size());
+}
+
+}  // namespace
+
+int main() {
+  Database tpch = benchdata::MakeTpchDatabase(1.0);
+  Database apb = benchdata::MakeApbDatabase();
+  Database sales = benchdata::MakeSalesDatabase();
+
+  std::vector<std::vector<std::string>> dbs;
+  dbs.push_back({"database", "tables", "size", "paper"});
+  auto size_of = [](const Database& db) {
+    return StrFormat("%.2f GB",
+                     static_cast<double>(db.TotalBlocks()) * kBlockBytes / 1e9);
+  };
+  dbs.push_back({"TPCH1G", StrFormat("%zu", tpch.tables().size()), size_of(tpch),
+                 "1 GB, 8 tables"});
+  dbs.push_back({"APB", StrFormat("%zu", apb.tables().size()), size_of(apb),
+                 "~250 MB, 40 tables"});
+  dbs.push_back({"SALES", StrFormat("%zu", sales.tables().size()), size_of(sales),
+                 "~5 GB, 50 tables"});
+  PrintTable("Databases (Section 7.1)", dbs);
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"Name", "#queries", "avg tables/query", "Remarks"});
+
+  Workload tpch22 = Unwrap(benchdata::MakeTpch22Workload(tpch), "tpch22");
+  rows.push_back({"TPCH-22", StrFormat("%zu", tpch22.size()),
+                  StrFormat("%.1f", AvgTablesPerQuery(tpch22)),
+                  "Standard TPC-H benchmark"});
+
+  Workload sales45 = Unwrap(benchdata::MakeSales45Workload(sales), "sales45");
+  rows.push_back({"SALES-45", StrFormat("%zu", sales45.size()),
+                  StrFormat("%.1f", AvgTablesPerQuery(sales45)),
+                  "Real-world-style workload on SALES database"});
+
+  Workload apb800 = Unwrap(benchdata::MakeApb800Workload(apb), "apb800");
+  rows.push_back({"APB-800", StrFormat("%zu", apb800.size()),
+                  StrFormat("%.1f", AvgTablesPerQuery(apb800)),
+                  "Workload on APB database"});
+
+  for (int n : {100, 400, 1600, 3200}) {
+    Workload wk = Unwrap(benchdata::MakeWkScale(tpch, n, 3), "wk-scale");
+    rows.push_back({StrFormat("WK-SCALE(%d)", n), StrFormat("%zu", wk.size()),
+                    StrFormat("%.1f", AvgTablesPerQuery(wk)),
+                    "Workloads of increasing size on TPCH1G"});
+  }
+
+  Workload ctrl1 = Unwrap(benchdata::MakeWkCtrl1(tpch), "ctrl1");
+  rows.push_back({"WK-CTRL1", StrFormat("%zu", ctrl1.size()),
+                  StrFormat("%.1f", AvgTablesPerQuery(ctrl1)),
+                  "Two-table joins on TPCH1G with a simple aggregation"});
+
+  Workload ctrl2 = Unwrap(benchdata::MakeWkCtrl2(tpch), "ctrl2");
+  rows.push_back({"WK-CTRL2", StrFormat("%zu", ctrl2.size()),
+                  StrFormat("%.1f", AvgTablesPerQuery(ctrl2)),
+                  "Mix of single- and multi-table queries with aggregation"});
+
+  PrintTable("Table 1: Summary of workloads", rows);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// What-if capacity planning: the drive list handed to the advisor (Fig. 3)
+// "need not be existing disk drives", so a DBA can ask what a bigger or
+// faster fleet would buy before purchasing it. This example sweeps fleet
+// sizes and compares upgrading drive count against upgrading drive speed
+// for the TPC-H workload.
+
+#include <cstdio>
+
+#include "benchdata/tpch.h"
+#include "common/strutil.h"
+#include "layout/advisor.h"
+#include "workload/analyzer.h"
+
+using namespace dblayout;
+
+int main() {
+  Database db = benchdata::MakeTpchDatabase(1.0);
+  Workload wl = benchdata::MakeTpch22Workload(db).value();
+  auto profile = AnalyzeWorkload(db, wl);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"fleet", "recommended cost", "full striping cost",
+                  "improvement", "lineitem drives"});
+
+  auto evaluate = [&](const std::string& name, const DiskFleet& fleet) {
+    LayoutAdvisor advisor(db, fleet);
+    auto rec = advisor.RecommendFromProfile(profile.value());
+    if (!rec.ok()) {
+      rows.push_back({name, rec.status().ToString(), "-", "-", "-"});
+      return;
+    }
+    const int li = db.ObjectIdOfTable("lineitem").value();
+    rows.push_back({name, StrFormat("%.0f ms", rec->estimated_cost_ms),
+                    StrFormat("%.0f ms", rec->full_striping_cost_ms),
+                    StrFormat("%.1f%%", rec->ImprovementVsFullStripingPct()),
+                    StrFormat("%d of %d", rec->layout.Width(li), fleet.num_disks())});
+  };
+
+  // Scaling out: more drives of the same kind.
+  for (int m : {2, 4, 8, 16, 32}) {
+    evaluate(StrFormat("%d drives @ 40 MB/s", m), DiskFleet::Uniform(m));
+  }
+  // Scaling up: same 8 spindles, faster drives.
+  for (double mbps : {40.0, 60.0, 80.0}) {
+    evaluate(StrFormat("8 drives @ %.0f MB/s", mbps),
+             DiskFleet::Uniform(8, 6.0, 9.0, mbps, mbps * 0.8));
+  }
+  // A mixed upgrade: 8 existing drives plus 4 new fast ones.
+  {
+    DiskFleet mixed = DiskFleet::Uniform(8);
+    for (int j = 0; j < 4; ++j) {
+      DiskDrive fast;
+      fast.name = StrFormat("new%d", j + 1);
+      fast.capacity_blocks = BytesToBlocks(8'000'000'000);
+      fast.seek_ms = 6.0;
+      fast.read_mb_s = 80;
+      fast.write_mb_s = 64;
+      mixed.Add(fast);
+    }
+    evaluate("8 old + 4 fast drives", mixed);
+  }
+
+  std::printf("\nWhat-if fleet planning for TPCH-22 (estimated workload I/O "
+              "response time)\n%s",
+              RenderTable(rows).c_str());
+
+  std::printf(
+      "\nReading the table: separating co-accessed tables matters most when "
+      "drives are few; with many drives the advisor both separates hot joins "
+      "and keeps wide stripes, and the gap to naive striping narrows.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// From a profiler trace to a layout recommendation — including the
+// concurrency extension. Two reporting sessions hammer two different large
+// tables at the same time. Under the paper's set-of-statements model no
+// statement co-accesses both tables, so full striping looks optimal; when
+// trace sessions are interpreted as concurrent streams, the advisor
+// separates the tables and the concurrent replay confirms the win.
+
+#include <cstdio>
+
+#include "common/strutil.h"
+#include "engine/execution_sim.h"
+#include "layout/advisor.h"
+#include "workload/analyzer.h"
+#include "workload/trace.h"
+
+using namespace dblayout;
+
+namespace {
+
+Database MakeDb() {
+  Database db("reporting");
+  for (const char* name : {"clicks", "impressions"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 800'000;
+    Column k;
+    k.name = std::string(name) + "_id";
+    k.type = ColumnType::kInt;
+    k.distinct_count = t.row_count;
+    k.min_value = 1;
+    k.max_value = static_cast<double>(t.row_count);
+    Column pay;
+    pay.name = std::string(name) + "_data";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 110;
+    t.columns = {k, pay};
+    t.clustered_key = {k.name};
+    if (Status s = db.AddTable(t); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return db;
+}
+
+/// A synthetic profiler trace: session 61 scans clicks while session 62
+/// scans impressions, over and over.
+std::string MakeTrace() {
+  std::string trace = "# time  session  statement\n";
+  double t = 0;
+  for (int i = 0; i < 4; ++i) {
+    trace += StrFormat("%.0f 61 SELECT COUNT(*) FROM clicks\n", t);
+    trace += StrFormat("%.0f 62 SELECT COUNT(*) FROM impressions\n", t + 3);
+    t += 1000;
+  }
+  return trace;
+}
+
+double Replay(const Database& db, const DiskFleet& fleet,
+              const WorkloadProfile& profile, const Layout& layout) {
+  std::vector<std::vector<const PlanNode*>> streams(2);
+  for (const auto& s : profile.statements) {
+    streams[static_cast<size_t>(s.stream - 1)].push_back(s.plan.get());
+  }
+  ExecutionSimulator sim(db, fleet);
+  auto time = sim.ExecuteConcurrentStreams(streams, layout);
+  if (!time.ok()) {
+    std::fprintf(stderr, "replay: %s\n", time.status().ToString().c_str());
+    std::exit(1);
+  }
+  return time.value();
+}
+
+}  // namespace
+
+int main() {
+  Database db = MakeDb();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  const std::string trace = MakeTrace();
+  std::printf("trace:\n%s\n", trace.c_str());
+
+  // Interpretation 1: the paper's set-of-statements model.
+  auto plain = WorkloadFromTrace("plain", trace);
+  if (!plain.ok()) {
+    std::fprintf(stderr, "%s\n", plain.status().ToString().c_str());
+    return 1;
+  }
+  LayoutAdvisor naive(db, fleet);
+  auto naive_rec = naive.Recommend(plain.value());
+  if (!naive_rec.ok()) {
+    std::fprintf(stderr, "%s\n", naive_rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("set-of-statements model: recommendation %s full striping "
+              "(estimated improvement %.1f%%)\n",
+              naive_rec->layout.ApproxEquals(naive_rec->full_striping, 1e-6)
+                  ? "EQUALS"
+                  : "differs from",
+              naive_rec->ImprovementVsFullStripingPct());
+
+  // Interpretation 2: trace sessions as concurrent streams.
+  TraceOptions topt;
+  topt.sessions_as_streams = true;
+  auto streams_wl = WorkloadFromTrace("streams", trace, topt);
+  if (!streams_wl.ok()) {
+    std::fprintf(stderr, "%s\n", streams_wl.status().ToString().c_str());
+    return 1;
+  }
+  AdvisorOptions opt;
+  opt.model_concurrency = true;
+  LayoutAdvisor aware(db, fleet, opt);
+  auto rec = aware.Recommend(streams_wl.value());
+  if (!rec.ok()) {
+    std::fprintf(stderr, "%s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nconcurrency-aware recommendation:\n%s\n",
+              aware.Report(rec.value()).c_str());
+
+  // Validate with the concurrent replay.
+  auto profile = AnalyzeWorkload(db, streams_wl.value());
+  if (!profile.ok()) return 1;
+  const double t_striped = Replay(db, fleet, profile.value(), rec->full_striping);
+  const double t_aware = Replay(db, fleet, profile.value(), rec->layout);
+  std::printf("concurrent replay: full striping %.0f ms, concurrency-aware "
+              "layout %.0f ms (%.1f%% faster)\n",
+              t_striped, t_aware, 100.0 * (t_striped - t_aware) / t_striped);
+  return 0;
+}

@@ -1,0 +1,151 @@
+#include "benchdata/apb.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace dblayout::benchdata {
+
+namespace {
+
+Column Pk(const std::string& name, int64_t rows) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = rows;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(rows);
+  return c;
+}
+
+Column Measure(const std::string& name) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kDecimal;
+  c.distinct_count = 100000;
+  c.min_value = 0;
+  c.max_value = 1e6;
+  return c;
+}
+
+Column Label(const std::string& name, int len, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kVarchar;
+  c.declared_length = len;
+  c.distinct_count = distinct;
+  return c;
+}
+
+}  // namespace
+
+Database MakeApbDatabase() {
+  Database db("apb");
+
+  // Core dimensions of the APB-1 model.
+  struct Dim {
+    const char* name;
+    const char* pk;
+    int64_t rows;
+  };
+  static const Dim kCoreDims[] = {
+      {"product", "prod_id", 10000}, {"customer_dim", "cust_id", 1000},
+      {"channel", "chan_id", 10},    {"time_dim", "time_id", 24},
+  };
+  for (const Dim& d : kCoreDims) {
+    Table t;
+    t.name = d.name;
+    t.row_count = d.rows;
+    t.columns = {Pk(d.pk, d.rows), Label("label", 40, d.rows),
+                 Label("level_name", 20, 7), Label("parent", 40, d.rows / 5 + 1)};
+    t.clustered_key = {d.pk};
+    DBLAYOUT_CHECK(db.AddTable(t).ok());
+  }
+
+  // The two large history facts (~120 MB and ~100 MB): never co-accessed.
+  Table sales;
+  sales.name = "sales_history";
+  sales.row_count = 1'300'000;
+  sales.columns = {Pk("s_seq", 1'300'000),   Pk("s_prod_id", 10000),
+                   Pk("s_cust_id", 1000),    Pk("s_chan_id", 10),
+                   Pk("s_time_id", 24),      Measure("s_units"),
+                   Measure("s_dollars"),     Label("s_note", 30, 1000)};
+  sales.clustered_key = {"s_seq"};
+  DBLAYOUT_CHECK(db.AddTable(sales).ok());
+
+  Table inventory;
+  inventory.name = "inventory_history";
+  inventory.row_count = 1'100'000;
+  inventory.columns = {Pk("i_seq", 1'100'000), Pk("i_prod_id", 10000),
+                       Pk("i_time_id", 24),    Measure("i_qty_on_hand"),
+                       Measure("i_value"),     Label("i_note", 30, 1000)};
+  inventory.clustered_key = {"i_seq"};
+  DBLAYOUT_CHECK(db.AddTable(inventory).ok());
+
+  // 34 small auxiliary tables (hierarchy levels, member lists, scenario
+  // tables) to reach the 40-table count of the paper's APB database.
+  for (int i = 1; i <= 34; ++i) {
+    Table t;
+    t.name = StrFormat("aux_%02d", i);
+    t.row_count = 200 + 137 * i;
+    t.columns = {Pk("a_id", t.row_count), Pk("a_prod_id", 10000),
+                 Label("a_name", 32, t.row_count), Measure("a_weight")};
+    t.clustered_key = {"a_id"};
+    DBLAYOUT_CHECK(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+Result<Workload> MakeApb800Workload(const Database& db, uint64_t seed,
+                                    int num_queries) {
+  (void)db;
+  Rng rng(seed);
+  Workload wl("APB-800");
+  struct DimRef {
+    const char* table;
+    const char* pk;
+    const char* fact_fk_sales;
+    const char* fact_fk_inv;  // nullptr if the dimension joins only to sales
+  };
+  static const DimRef kDims[] = {
+      {"product", "prod_id", "s_prod_id", "i_prod_id"},
+      {"customer_dim", "cust_id", "s_cust_id", nullptr},
+      {"channel", "chan_id", "s_chan_id", nullptr},
+      {"time_dim", "time_id", "s_time_id", "i_time_id"},
+  };
+  for (int i = 0; i < num_queries; ++i) {
+    const bool use_sales = rng.Bernoulli(0.55);
+    const char* fact = use_sales ? "sales_history" : "inventory_history";
+    const char* measure = use_sales ? "s_dollars" : "i_value";
+    std::vector<std::string> tables = {fact};
+    std::vector<std::string> conds;
+    const int num_dims = static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<int> dim_order = {0, 1, 2, 3};
+    rng.Shuffle(&dim_order);
+    int added = 0;
+    for (int d : dim_order) {
+      if (added >= num_dims) break;
+      const DimRef& dim = kDims[static_cast<size_t>(d)];
+      const char* fk = use_sales ? dim.fact_fk_sales : dim.fact_fk_inv;
+      if (fk == nullptr) continue;
+      tables.push_back(dim.table);
+      conds.push_back(StrFormat("%s.%s = %s", dim.table, dim.pk, fk));
+      ++added;
+    }
+    // Occasionally touch an auxiliary table through product.
+    if (rng.Bernoulli(0.15)) {
+      const int aux = static_cast<int>(rng.UniformInt(1, 34));
+      const std::string aux_name = StrFormat("aux_%02d", aux);
+      tables.push_back(aux_name);
+      conds.push_back(StrFormat("%s.a_prod_id = %s", aux_name.c_str(),
+                                use_sales ? "s_prod_id" : "i_prod_id"));
+    }
+    std::string sql = StrFormat("SELECT SUM(%s), COUNT(*) FROM %s", measure,
+                                Join(tables, ", ").c_str());
+    if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+    DBLAYOUT_RETURN_NOT_OK(wl.Add(sql));
+  }
+  return wl;
+}
+
+}  // namespace dblayout::benchdata

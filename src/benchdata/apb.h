@@ -1,0 +1,30 @@
+// Synthetic APB-1-like OLAP database and workload (the paper's APB testbed:
+// ~250 MB, ~40 tables). Structurally what matters for the layout experiments
+// is that the database has *two large tables that are never co-accessed* —
+// every query drills into exactly one of the two history facts plus small
+// dimensions — which is why the paper's TS-GREEDY recommends the same layout
+// as full striping on APB-800 (Fig. 10).
+
+#ifndef DBLAYOUT_BENCHDATA_APB_H_
+#define DBLAYOUT_BENCHDATA_APB_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace dblayout::benchdata {
+
+/// APB-like star schema: two large history facts plus 38 small dimension /
+/// auxiliary tables (40 tables, ~250 MB total).
+Database MakeApbDatabase();
+
+/// APB-800: 800 OLAP queries; each aggregates one fact joined with one to
+/// three dimensions. The two facts are never referenced together.
+Result<Workload> MakeApb800Workload(const Database& db, uint64_t seed = 7,
+                                    int num_queries = 800);
+
+}  // namespace dblayout::benchdata
+
+#endif  // DBLAYOUT_BENCHDATA_APB_H_

@@ -1,0 +1,221 @@
+#include "benchdata/sales.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "sql/parser.h"
+
+namespace dblayout::benchdata {
+
+namespace {
+
+Column Pk(const std::string& name, int64_t rows) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kBigInt;
+  c.distinct_count = rows;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(rows);
+  return c;
+}
+
+Column Fk(const std::string& name, int64_t distinct) { return Pk(name, distinct); }
+
+Column Measure(const std::string& name) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kDecimal;
+  c.distinct_count = 500000;
+  c.min_value = 0;
+  c.max_value = 1e6;
+  return c;
+}
+
+Column Label(const std::string& name, int len, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kVarchar;
+  c.declared_length = len;
+  c.distinct_count = distinct;
+  return c;
+}
+
+Column DateCol(const std::string& name) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kDate;
+  c.distinct_count = 1460;
+  auto lo = ParseDateDays("1999-01-01");
+  auto hi = ParseDateDays("2002-12-31");
+  DBLAYOUT_CHECK(lo.ok() && hi.ok());
+  c.min_value = lo.value();
+  c.max_value = hi.value();
+  // Growing business: each year carries more orders than the last.
+  c.histogram.fractions = {0.13, 0.20, 0.29, 0.38};
+  return c;
+}
+
+}  // namespace
+
+Database MakeSalesDatabase() {
+  Database db("sales");
+
+  // The two dominant facts (~2 GB and ~2.2 GB).
+  Table orders;
+  orders.name = "so_header";
+  orders.row_count = 9'000'000;
+  orders.columns = {Pk("soh_id", 9'000'000),
+                    Fk("soh_account_id", 400'000),
+                    Fk("soh_rep_id", 5'000),
+                    Fk("soh_region_id", 60),
+                    Fk("soh_channel_id", 12),
+                    DateCol("soh_date"),
+                    Measure("soh_total"),
+                    Measure("soh_discount"),
+                    Label("soh_status", 12, 6),
+                    Label("soh_po", 30, 9'000'000),
+                    Label("soh_note", 120, 2'000'000)};
+  orders.clustered_key = {"soh_id"};
+  DBLAYOUT_CHECK(db.AddTable(orders).ok());
+
+  Table lines;
+  lines.name = "so_line";
+  lines.row_count = 24'000'000;
+  lines.columns = {Fk("sol_soh_id", 9'000'000),
+                   Pk("sol_line_no", 24'000'000),
+                   Fk("sol_product_id", 30'000),
+                   Measure("sol_qty"),
+                   Measure("sol_price"),
+                   Measure("sol_cost"),
+                   Label("sol_flag", 4, 8)};
+  lines.clustered_key = {"sol_soh_id"};
+  DBLAYOUT_CHECK(db.AddTable(lines).ok());
+
+  // Mid-size facts and dimensions (name, rows, payload width class).
+  struct Spec {
+    const char* name;
+    const char* pk;
+    int64_t rows;
+    int payload_len;
+  };
+  static const Spec kTables[] = {
+      {"account", "acct_id", 400'000, 120},
+      {"product", "prod_id", 30'000, 140},
+      {"sales_rep", "rep_id", 5'000, 90},
+      {"region", "region_id", 60, 60},
+      {"channel", "channel_id", 12, 40},
+      {"shipment", "ship_id", 7'000'000, 50},
+      {"invoice", "inv_id", 8'500'000, 40},
+      {"payment", "pay_id", 8'000'000, 36},
+      {"product_cost", "pc_id", 120'000, 44},
+      {"forecast", "fc_id", 600'000, 52},
+      {"quota", "quota_id", 60'000, 40},
+      {"territory", "terr_id", 400, 64},
+      {"currency", "curr_id", 40, 30},
+      {"price_list", "pl_id", 90'000, 48},
+  };
+  for (const Spec& s : kTables) {
+    Table t;
+    t.name = s.name;
+    t.row_count = s.rows;
+    t.columns = {Pk(s.pk, s.rows), Fk("acct_ref", 400'000), Fk("prod_ref", 30'000),
+                 Measure("amount"), Label("name", s.payload_len, s.rows)};
+    t.clustered_key = {s.pk};
+    DBLAYOUT_CHECK(db.AddTable(t).ok());
+  }
+
+  // Auxiliary/config tables to reach 50 tables total.
+  const int have = 2 + static_cast<int>(std::size(kTables));
+  for (int i = 1; i <= 50 - have; ++i) {
+    Table t;
+    t.name = StrFormat("lookup_%02d", i);
+    t.row_count = 50 + 211 * i;
+    t.columns = {Pk("lk_id", t.row_count), Label("lk_value", 48, t.row_count),
+                 Fk("lk_region_id", 60)};
+    t.clustered_key = {"lk_id"};
+    DBLAYOUT_CHECK(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+Result<Workload> MakeSales45Workload(const Database& db, uint64_t seed) {
+  (void)db;
+  Rng rng(seed);
+  Workload wl("SALES-45");
+  // Dimension joins available off so_header.
+  struct DimJoin {
+    const char* table;
+    const char* cond;
+  };
+  static const DimJoin kDims[] = {
+      {"account", "acct_id = soh_account_id"},
+      {"sales_rep", "rep_id = soh_rep_id"},
+      {"region", "region_id = soh_region_id"},
+      {"channel", "channel_id = soh_channel_id"},
+      {"product", "prod_id = sol_product_id"},
+      {"product_cost", "pc_id = sol_product_id"},
+      {"territory", "terr_id = soh_region_id"},
+      {"price_list", "pl_id = sol_product_id"},
+  };
+  for (int i = 0; i < 45; ++i) {
+    // Almost every query joins the two dominant facts (the paper: "these
+    // tables are joined in almost all the queries").
+    const bool joins_facts = i % 15 != 14;  // 42 of 45
+    std::vector<std::string> tables;
+    std::vector<std::string> conds;
+    std::string agg_col;
+    if (joins_facts) {
+      tables = {"so_header", "so_line"};
+      conds.push_back("soh_id = sol_soh_id");
+      agg_col = "sol_price";
+    } else if (rng.Bernoulli(0.5)) {
+      tables = {"so_header"};
+      agg_col = "soh_total";
+    } else {
+      tables = {"shipment"};
+      agg_col = "amount";
+    }
+    // Add dimensions until ~8 tables on average.
+    const int extra = static_cast<int>(rng.UniformInt(4, 8));
+    std::vector<int> order(std::size(kDims));
+    for (size_t d = 0; d < order.size(); ++d) order[d] = static_cast<int>(d);
+    rng.Shuffle(&order);
+    int added = 0;
+    for (int d : order) {
+      if (added >= extra) break;
+      const DimJoin& dj = kDims[static_cast<size_t>(d)];
+      // product-side joins need so_line in scope.
+      const std::string cond(dj.cond);
+      const bool needs_line = cond.find("sol_") != std::string::npos;
+      const bool needs_header = cond.find("soh_") != std::string::npos;
+      const bool has_line =
+          std::find(tables.begin(), tables.end(), "so_line") != tables.end();
+      const bool has_header =
+          std::find(tables.begin(), tables.end(), "so_header") != tables.end();
+      if ((needs_line && !has_line) || (needs_header && !has_header)) continue;
+      if (std::find(tables.begin(), tables.end(), dj.table) != tables.end()) continue;
+      tables.push_back(dj.table);
+      conds.push_back(dj.cond);
+      ++added;
+    }
+    if (rng.Bernoulli(0.6) &&
+        std::find(tables.begin(), tables.end(), "so_header") != tables.end()) {
+      conds.push_back(StrFormat("soh_date >= date '%d-01-01'",
+                                static_cast<int>(rng.UniformInt(1999, 2002))));
+    }
+    std::string sql = StrFormat("SELECT COUNT(*), SUM(%s) FROM %s", agg_col.c_str(),
+                                Join(tables, ", ").c_str());
+    if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+    if (rng.Bernoulli(0.5) &&
+        std::find(tables.begin(), tables.end(), "so_header") != tables.end()) {
+      sql += " GROUP BY soh_status";
+    }
+    DBLAYOUT_RETURN_NOT_OK(wl.Add(sql));
+  }
+  return wl;
+}
+
+}  // namespace dblayout::benchdata

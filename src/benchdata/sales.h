@@ -1,0 +1,28 @@
+// Synthetic SALES-like database and workload (the paper's internal 5 GB,
+// 50-table company sales database with the SALES-45 workload). What drives
+// the paper's Fig. 10 result is that the two largest tables are joined in
+// almost every query (avg ~8 tables per query), so TS-GREEDY separates them
+// onto disjoint drive sets (4 + 4 on the 8-disk fleet).
+
+#ifndef DBLAYOUT_BENCHDATA_SALES_H_
+#define DBLAYOUT_BENCHDATA_SALES_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace dblayout::benchdata {
+
+/// 50-table, ~5 GB sales schema: two dominant facts (orders and order
+/// lines), mid-size facts, and many dimension/auxiliary tables.
+Database MakeSalesDatabase();
+
+/// SALES-45: 45 analysis queries, ~8 tables each, almost all joining the
+/// two dominant facts.
+Result<Workload> MakeSales45Workload(const Database& db, uint64_t seed = 11);
+
+}  // namespace dblayout::benchdata
+
+#endif  // DBLAYOUT_BENCHDATA_SALES_H_

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+namespace dblayout {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), file, line);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "[FATAL %s:%d] check failed: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dblayout

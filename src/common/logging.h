@@ -1,0 +1,39 @@
+// Minimal logging and invariant-checking macros.
+//
+// DBLAYOUT_CHECK aborts on violated invariants (programmer errors); user
+// errors are reported through Status. DBLAYOUT_LOG writes to stderr and is
+// controlled by a global verbosity level so library code stays quiet under
+// benchmarks by default.
+
+#ifndef DBLAYOUT_COMMON_LOGGING_H_
+#define DBLAYOUT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dblayout {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets/gets the global verbosity threshold; messages above it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+}  // namespace dblayout
+
+#define DBLAYOUT_LOG(level, ...)                                                 \
+  ::dblayout::internal::LogMessage(::dblayout::LogLevel::level, __FILE__,        \
+                                   __LINE__, __VA_ARGS__)
+
+#define DBLAYOUT_CHECK(expr)                                                     \
+  do {                                                                           \
+    if (!(expr)) ::dblayout::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
+  } while (0)
+
+#endif  // DBLAYOUT_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef DBLAYOUT_COMMON_RESULT_H_
+#define DBLAYOUT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dblayout {
+
+/// Holds either a T or a non-OK Status. Accessing value() on an error Result
+/// aborts in debug builds; call ok() (or check status()) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit conversion from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise assigns
+/// its value. Usable in functions that return Status or Result.
+#define DBLAYOUT_ASSIGN_OR_RETURN(lhs, expr)   \
+  auto DBLAYOUT_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!DBLAYOUT_CONCAT_(_res_, __LINE__).ok())              \
+    return DBLAYOUT_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(DBLAYOUT_CONCAT_(_res_, __LINE__)).value()
+
+#define DBLAYOUT_CONCAT_(a, b) DBLAYOUT_CONCAT_IMPL_(a, b)
+#define DBLAYOUT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_COMMON_RESULT_H_

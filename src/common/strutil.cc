@@ -1,0 +1,99 @@
+#include "common/strutil.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dblayout {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string ToLower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& r : rows) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows) {
+    for (size_t c = 0; c < r.size(); ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  std::string out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    for (size_t c = 0; c < cols; ++c) {
+      std::string cell = c < r.size() ? r[c] : "";
+      cell.resize(width[c], ' ');
+      out += cell;
+      if (c + 1 < cols) out += " | ";
+    }
+    out += '\n';
+    if (i == 0) {
+      for (size_t c = 0; c < cols; ++c) {
+        out += std::string(width[c], '-');
+        if (c + 1 < cols) out += "-+-";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,42 @@
+// Small string utilities: printf-style formatting into std::string, join,
+// split, case folding, and fixed-width table rendering used by the bench
+// harnesses to print paper-style tables.
+
+#ifndef DBLAYOUT_COMMON_STRUTIL_H_
+#define DBLAYOUT_COMMON_STRUTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace dblayout {
+
+/// printf-style formatting returning a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on character `sep`; does not merge adjacent separators.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// ASCII-lowercases `s`.
+std::string ToLower(const std::string& s);
+
+/// ASCII-uppercases `s`.
+std::string ToUpper(const std::string& s);
+
+/// Strips leading and trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Renders rows as a fixed-width ASCII table with a header rule, e.g.
+///   Queries   | Execution Improvement | Estimated Improvement
+///   ----------+-----------------------+----------------------
+///   Query 3   | 44%                   | 54%
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_COMMON_STRUTIL_H_

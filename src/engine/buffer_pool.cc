@@ -1,0 +1,81 @@
+#include "engine/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dblayout {
+
+BufferPool::BufferPool(int64_t capacity_blocks, std::vector<int64_t> object_sizes)
+    : capacity_(capacity_blocks),
+      sizes_(std::move(object_sizes)),
+      resident_(sizes_.size(), 0.0),
+      last_access_(sizes_.size(), 0) {}
+
+double BufferPool::AccessRead(int obj, double blocks) {
+  DBLAYOUT_CHECK(obj >= 0 && static_cast<size_t>(obj) < sizes_.size());
+  const auto o = static_cast<size_t>(obj);
+  if (blocks <= 0) return 0;
+  if (capacity_ <= 0) return blocks;
+  const double size = static_cast<double>(std::max<int64_t>(1, sizes_[o]));
+  blocks = std::min(blocks, size);
+  // Accessed blocks are uniformly spread over the object, so the hit
+  // fraction equals the resident fraction.
+  const double hit_fraction = std::min(1.0, resident_[o] / size);
+  const double misses = blocks * (1.0 - hit_fraction);
+  Admit(obj, misses);
+  return misses;
+}
+
+void BufferPool::AccessWrite(int obj, double blocks) {
+  DBLAYOUT_CHECK(obj >= 0 && static_cast<size_t>(obj) < sizes_.size());
+  if (blocks <= 0 || capacity_ <= 0) return;
+  const double size =
+      static_cast<double>(std::max<int64_t>(1, sizes_[static_cast<size_t>(obj)]));
+  Admit(obj, std::min(blocks, size));
+}
+
+void BufferPool::Admit(int obj, double blocks) {
+  const auto o = static_cast<size_t>(obj);
+  last_access_[o] = ++clock_;
+  const double size = static_cast<double>(std::max<int64_t>(1, sizes_[o]));
+  resident_[o] = std::min(size, resident_[o] + blocks);
+  EvictDownToCapacity(obj);
+}
+
+void BufferPool::EvictDownToCapacity(int keep_obj) {
+  double total = TotalResident();
+  if (total <= static_cast<double>(capacity_)) return;
+  // Evict whole objects in LRU order, most-stale first; the object being
+  // accessed is shrunk last.
+  std::vector<size_t> order;
+  for (size_t o = 0; o < resident_.size(); ++o) {
+    if (resident_[o] > 0 && static_cast<int>(o) != keep_obj) order.push_back(o);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return last_access_[a] < last_access_[b]; });
+  for (size_t o : order) {
+    if (total <= static_cast<double>(capacity_)) return;
+    const double evict = std::min(resident_[o], total - static_cast<double>(capacity_));
+    resident_[o] -= evict;
+    total -= evict;
+  }
+  if (total > static_cast<double>(capacity_)) {
+    const auto k = static_cast<size_t>(keep_obj);
+    resident_[k] = std::max(0.0, resident_[k] - (total - static_cast<double>(capacity_)));
+  }
+}
+
+void BufferPool::Reset() {
+  std::fill(resident_.begin(), resident_.end(), 0.0);
+  std::fill(last_access_.begin(), last_access_.end(), uint64_t{0});
+  clock_ = 0;
+}
+
+double BufferPool::TotalResident() const {
+  double total = 0;
+  for (double r : resident_) total += r;
+  return total;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,56 @@
+// Aggregate buffer-pool model. The execution simulator uses it to decide
+// how many of a statement's logical block accesses actually reach disk.
+//
+// Residency is tracked per object as a block count with LRU eviction at
+// object granularity. This coarse model is enough to reproduce the caching
+// effect the paper observes (its cost model over-estimates TPC-H Q21, which
+// reads lineitem three times, because the second and third passes are partly
+// buffered).
+
+#ifndef DBLAYOUT_ENGINE_BUFFER_POOL_H_
+#define DBLAYOUT_ENGINE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dblayout {
+
+class BufferPool {
+ public:
+  /// `capacity_blocks` <= 0 disables caching entirely (every access misses).
+  BufferPool(int64_t capacity_blocks, std::vector<int64_t> object_sizes);
+
+  /// Records a read of `blocks` blocks of object `obj` (uniformly spread over
+  /// the object) and returns the number of blocks that miss the cache and
+  /// must be physically read.
+  double AccessRead(int obj, double blocks);
+
+  /// Records a write of `blocks` blocks of object `obj`. Writes are modeled
+  /// as write-through: the caller pays full disk traffic, but written blocks
+  /// become resident.
+  void AccessWrite(int obj, double blocks);
+
+  /// Drops all cached blocks (a "cold run" boundary).
+  void Reset();
+
+  /// Currently resident blocks of object `obj`.
+  double ResidentBlocks(int obj) const { return resident_[static_cast<size_t>(obj)]; }
+
+  /// Total resident blocks across objects.
+  double TotalResident() const;
+
+ private:
+  void Admit(int obj, double blocks);
+  void EvictDownToCapacity(int keep_obj);
+
+  int64_t capacity_;
+  std::vector<int64_t> sizes_;
+  std::vector<double> resident_;
+  std::vector<uint64_t> last_access_;
+  uint64_t clock_ = 0;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_ENGINE_BUFFER_POOL_H_

@@ -1,0 +1,84 @@
+// Weighted undirected graph used to represent workload access graphs
+// (Section 4.1 of the paper): nodes are database objects, node weights are
+// total blocks accessed, edge weights are total blocks co-accessed.
+
+#ifndef DBLAYOUT_GRAPH_WEIGHTED_GRAPH_H_
+#define DBLAYOUT_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace dblayout {
+
+/// An undirected graph over nodes 0..n-1 with double node and edge weights.
+/// Self-loops are ignored; parallel edge additions accumulate weight.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(size_t num_nodes = 0)
+      : node_weight_(num_nodes, 0.0), adj_(num_nodes) {}
+
+  size_t num_nodes() const { return node_weight_.size(); }
+
+  /// Appends a node with the given weight, returning its index.
+  size_t AddNode(double weight = 0.0) {
+    node_weight_.push_back(weight);
+    adj_.emplace_back();
+    return node_weight_.size() - 1;
+  }
+
+  /// Adds `delta` to node u's weight.
+  void AddNodeWeight(size_t u, double delta) { node_weight_[u] += delta; }
+  double node_weight(size_t u) const { return node_weight_[u]; }
+
+  /// Adds `delta` to the weight of undirected edge (u, v). u == v is a no-op.
+  void AddEdgeWeight(size_t u, size_t v, double delta) {
+    if (u == v) return;
+    adj_[u][v] += delta;
+    adj_[v][u] += delta;
+  }
+
+  /// Weight of edge (u, v), 0 if absent.
+  double EdgeWeight(size_t u, size_t v) const {
+    auto it = adj_[u].find(v);
+    return it == adj_[u].end() ? 0.0 : it->second;
+  }
+
+  /// Neighbors of u with positive edge weight.
+  const std::unordered_map<size_t, double>& Neighbors(size_t u) const {
+    return adj_[u];
+  }
+
+  /// Number of undirected edges.
+  size_t num_edges() const {
+    size_t deg = 0;
+    for (const auto& a : adj_) deg += a.size();
+    return deg / 2;
+  }
+
+  /// Sum of all edge weights (each undirected edge counted once).
+  double TotalEdgeWeight() const {
+    double total = 0;
+    for (size_t u = 0; u < adj_.size(); ++u) {
+      for (const auto& [v, w] : adj_[u]) {
+        if (u < v) total += w;
+      }
+    }
+    return total;
+  }
+
+  /// Sum of all node weights.
+  double TotalNodeWeight() const {
+    double total = 0;
+    for (double w : node_weight_) total += w;
+    return total;
+  }
+
+ private:
+  std::vector<double> node_weight_;
+  std::vector<std::unordered_map<size_t, double>> adj_;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_GRAPH_WEIGHTED_GRAPH_H_

@@ -1,0 +1,96 @@
+#include "io/disk_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dblayout {
+
+double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
+                           const SimOptions& options) {
+  double time_ms = 0;
+
+  // Random streams: every block is a scattered access; read-ahead cannot
+  // help, and their seeks dominate any interleaving effects.
+  std::vector<const DiskStream*> sequential;
+  auto rate_of = [&](const DiskStream& s) {
+    if (s.rmw) return d.ReadMsPerBlock() + d.WriteMsPerBlock();
+    return s.write ? d.WriteMsPerBlock() : d.ReadMsPerBlock();
+  };
+  for (const auto& s : streams) {
+    if (s.blocks <= 0) continue;
+    const double ms_per_block = rate_of(s);
+    if (s.random) {
+      time_ms += static_cast<double>(s.blocks) * (d.seek_ms + ms_per_block);
+    } else {
+      sequential.push_back(&s);
+    }
+  }
+  if (sequential.empty()) return time_ms;
+
+  // Single sequential stream: one positioning seek, then pure transfer.
+  if (sequential.size() == 1) {
+    const DiskStream& s = *sequential[0];
+    return time_ms + d.seek_ms + static_cast<double>(s.blocks) * rate_of(s);
+  }
+
+  // Multiple co-accessed sequential streams: proportional round-robin. Each
+  // round the smallest stream advances one prefetch chunk and every other
+  // stream advances proportionally to its size, so all streams exhaust after
+  // a similar number of rounds (the pipelined operator consumes its inputs
+  // together). Every switch of the head between streams costs a seek.
+  const int64_t chunk = std::max<int64_t>(1, options.prefetch_blocks);
+  int64_t min_blocks = sequential.front()->blocks;
+  for (const auto* s : sequential) min_blocks = std::min(min_blocks, s->blocks);
+
+  struct Active {
+    int64_t remaining;
+    int64_t quantum;
+    double ms_per_block;
+  };
+  std::vector<Active> active;
+  active.reserve(sequential.size());
+  for (const auto* s : sequential) {
+    Active a;
+    a.remaining = s->blocks;
+    const double ratio =
+        static_cast<double>(s->blocks) / static_cast<double>(min_blocks);
+    a.quantum = std::max<int64_t>(1, static_cast<int64_t>(std::llround(
+                                         static_cast<double>(chunk) * ratio)));
+    a.ms_per_block = rate_of(*s);
+    active.push_back(a);
+  }
+
+  size_t last_serviced = active.size();  // sentinel: no stream serviced yet
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (size_t i = 0; i < active.size(); ++i) {
+      Active& a = active[i];
+      if (a.remaining <= 0) continue;
+      const int64_t t = std::min(a.quantum, a.remaining);
+      if (last_serviced != i) time_ms += d.seek_ms;  // head moved
+      time_ms += static_cast<double>(t) * a.ms_per_block;
+      a.remaining -= t;
+      last_serviced = i;
+      if (a.remaining > 0) any_left = true;
+    }
+  }
+  return time_ms;
+}
+
+double SimulatePipeline(const DiskFleet& fleet,
+                        const std::vector<std::vector<DiskStream>>& per_disk_streams,
+                        const SimOptions& options) {
+  DBLAYOUT_CHECK(static_cast<int>(per_disk_streams.size()) == fleet.num_disks());
+  double max_ms = 0;
+  for (int j = 0; j < fleet.num_disks(); ++j) {
+    max_ms = std::max(max_ms, SimulateDiskStreams(
+                                  fleet.disk(j),
+                                  per_disk_streams[static_cast<size_t>(j)], options));
+  }
+  return max_ms;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,55 @@
+// Fine-grained disk simulator. This module plays the role of the paper's
+// *physical testbed* (8 calibrated disks under SQL Server): it computes the
+// elapsed I/O time of a set of concurrently active block streams on each
+// drive, modeling head seeks, sequential run detection, read-ahead
+// (prefetch) chunks, and distinct read/write transfer rates.
+//
+// It is intentionally a *different, more detailed* model than the analytic
+// cost model of Section 5 — the advisor estimates with the analytic model
+// and is validated against this simulator, exactly as the paper validates
+// its estimates against real executions.
+
+#ifndef DBLAYOUT_IO_DISK_SIM_H_
+#define DBLAYOUT_IO_DISK_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace dblayout {
+
+/// One active block stream on one drive during a pipeline: a fragment of an
+/// object being read or written.
+struct DiskStream {
+  int64_t blocks = 0;    ///< blocks to transfer on this drive
+  bool random = false;   ///< scattered accesses (every block pays a seek)
+  bool write = false;    ///< use the drive's write transfer rate
+  bool rmw = false;      ///< read-modify-write pass: each block is read and
+                         ///< written back in place (no extra seek between)
+};
+
+struct SimOptions {
+  /// Read-ahead chunk: consecutive blocks of one sequential stream that are
+  /// serviced before the head may switch to another stream. Approximates
+  /// SQL Server's read-ahead (a few hundred KB per request).
+  int64_t prefetch_blocks = 1;
+};
+
+/// Elapsed milliseconds for drive `d` to service all `streams`, with
+/// sequential streams interleaved in proportional round-robin (co-accessed
+/// objects progress at rates proportional to their block counts, the same
+/// co-scheduling assumption as the paper's Section 5 model) and a seek paid
+/// on every switch of the head between streams.
+double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
+                           const SimOptions& options = {});
+
+/// Response time of one pipeline over all drives: max over drives (the last
+/// drive to finish determines the pipeline's I/O response time).
+double SimulatePipeline(const DiskFleet& fleet,
+                        const std::vector<std::vector<DiskStream>>& per_disk_streams,
+                        const SimOptions& options = {});
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_IO_DISK_SIM_H_

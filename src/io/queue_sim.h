@@ -1,0 +1,52 @@
+// Request-level disk simulator: a second, independent stand-in for physical
+// hardware, finer-grained than the aggregate stream model in disk_sim.h.
+//
+// Each pipeline stream is a closed-loop client walking a physical extent
+// (sequentially or scattered) one I/O request at a time; the drive services
+// one request at a time under a C-LOOK elevator schedule with a
+// distance-dependent seek curve (settle + k*sqrt(distance)) plus rotational
+// latency. The aggregate model and the analytic cost model are validated
+// against this simulator in bench_costmodel.
+
+#ifndef DBLAYOUT_IO_QUEUE_SIM_H_
+#define DBLAYOUT_IO_QUEUE_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_map.h"
+#include "storage/disk.h"
+
+namespace dblayout {
+
+struct QueueSimOptions {
+  /// Fixed per-seek overhead (head settle + controller), ms.
+  double settle_ms = 1.0;
+  /// Spindle speed; rotational latency is half a revolution per
+  /// non-contiguous request.
+  double rpm = 10'000;
+  /// Blocks per sequential I/O request (read-ahead unit). Scattered
+  /// accesses always issue single-block requests.
+  int64_t request_blocks = 2;
+};
+
+/// One closed-loop client stream on a drive.
+struct QueueStream {
+  ObjectExtent extent;    ///< physical region the stream walks
+  int64_t blocks = 0;     ///< total blocks to transfer (may exceed the extent
+                          ///< for repeated passes; wraps around)
+  bool write = false;
+  bool rmw = false;       ///< each block is read and written back in place
+  bool random = false;    ///< scattered single-block requests within the extent
+  uint64_t seed = 1;      ///< randomness for scattered patterns
+};
+
+/// Elapsed ms for drive `d` to service all streams concurrently. The
+/// distance-dependent seek curve is calibrated so that the expected seek
+/// over uniformly random positions equals d.seek_ms.
+double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& streams,
+                         const QueueSimOptions& options = {});
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_IO_QUEUE_SIM_H_

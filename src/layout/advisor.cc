@@ -1,0 +1,108 @@
+#include "layout/advisor.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+Result<Recommendation> LayoutAdvisor::Recommend(const Workload& workload) const {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload is empty");
+  }
+  DBLAYOUT_ASSIGN_OR_RETURN(WorkloadProfile profile,
+                            AnalyzeWorkload(db_, workload, options_.optimizer));
+  return RecommendFromProfile(profile);
+}
+
+Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
+    const WorkloadProfile& profile) const {
+  if (profile.statements.empty()) {
+    return Status::InvalidArgument("workload profile is empty");
+  }
+  if (profile.num_objects != db_.Objects().size()) {
+    return Status::InvalidArgument(
+        "workload profile was analyzed against a different database");
+  }
+  DBLAYOUT_ASSIGN_OR_RETURN(ResolvedConstraints constraints,
+                            ResolveConstraints(options_.constraints, db_, fleet_));
+
+  // In concurrency mode the objective (searched and reported) is the
+  // stream-merged profile; per-statement impacts below still refer to the
+  // original statements.
+  WorkloadProfile merged;
+  const WorkloadProfile* objective = &profile;
+  if (options_.model_concurrency) {
+    merged = MergeConcurrentStreams(profile);
+    objective = &merged;
+  }
+  WorkloadProfile compressed;
+  if (options_.compress_workload) {
+    compressed = CompressProfile(*objective);
+    objective = &compressed;
+  }
+
+  TsGreedySearch search(db_, fleet_, options_.search);
+  DBLAYOUT_ASSIGN_OR_RETURN(SearchResult sr, search.Run(*objective, constraints));
+
+  Recommendation rec;
+  rec.layout = std::move(sr.layout);
+  rec.estimated_cost_ms = sr.cost;
+  rec.greedy_iterations = sr.greedy_iterations;
+  rec.layouts_evaluated = sr.layouts_evaluated;
+  rec.full_striping =
+      Layout::FullStriping(static_cast<int>(db_.Objects().size()), fleet_);
+
+  const CostModel cost_model(fleet_);
+  rec.full_striping_cost_ms = cost_model.WorkloadCost(*objective, rec.full_striping);
+  if (options_.constraints.current_layout != nullptr) {
+    rec.current_cost_ms =
+        cost_model.WorkloadCost(*objective, *options_.constraints.current_layout);
+  }
+  for (const auto& s : profile.statements) {
+    StatementImpact impact;
+    impact.sql = s.sql;
+    impact.weight = s.weight;
+    impact.cost_recommended_ms = cost_model.StatementCost(s, rec.layout);
+    impact.cost_full_striping_ms = cost_model.StatementCost(s, rec.full_striping);
+    rec.per_statement.push_back(std::move(impact));
+  }
+  return rec;
+}
+
+std::string LayoutAdvisor::Report(const Recommendation& rec) const {
+  std::vector<std::string> names;
+  for (const auto& o : db_.Objects()) names.push_back(o.name);
+  std::string out;
+  out += StrFormat("Recommended layout (estimated workload I/O response time "
+                   "%.0f ms; full striping %.0f ms; improvement %.1f%%)\n\n",
+                   rec.estimated_cost_ms, rec.full_striping_cost_ms,
+                   rec.ImprovementVsFullStripingPct());
+  out += rec.layout.ToString(names, fleet_);
+  out += "\nFilegroups:\n";
+  for (const auto& fg : InferFilegroups(rec.layout)) {
+    std::vector<std::string> disk_names, object_names;
+    for (int j : fg.disks) disk_names.push_back(fleet_.disk(j).name);
+    for (int i : fg.objects) object_names.push_back(names[static_cast<size_t>(i)]);
+    out += StrFormat("  {%s} <- %s\n", Join(disk_names, ", ").c_str(),
+                     Join(object_names, ", ").c_str());
+  }
+  out += StrFormat("\nSearch: %d greedy iterations, %lld layouts evaluated\n",
+                   rec.greedy_iterations,
+                   static_cast<long long>(rec.layouts_evaluated));
+  out += "\nPer-statement estimated impact vs full striping:\n";
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"statement", "weight", "recommended(ms)", "striped(ms)", "gain"});
+  for (const auto& s : rec.per_statement) {
+    std::string sql = s.sql.substr(0, 48);
+    std::replace(sql.begin(), sql.end(), '\n', ' ');
+    rows.push_back({sql, StrFormat("%.0f", s.weight),
+                    StrFormat("%.0f", s.cost_recommended_ms),
+                    StrFormat("%.0f", s.cost_full_striping_ms),
+                    StrFormat("%+.1f%%", s.ImprovementPct())});
+  }
+  out += RenderTable(rows);
+  return out;
+}
+
+}  // namespace dblayout

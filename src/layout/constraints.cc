@@ -1,0 +1,152 @@
+#include "layout/constraints.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+std::vector<int> ResolvedConstraints::AllowedDisks(const std::vector<int>& objects,
+                                                   const DiskFleet& fleet) const {
+  std::vector<int> out;
+  for (int j = 0; j < fleet.num_disks(); ++j) {
+    bool ok = true;
+    for (int i : objects) {
+      if (!DiskAllowed(i, j, fleet)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(j);
+  }
+  return out;
+}
+
+Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
+                                               const Database& db,
+                                               const DiskFleet& fleet) {
+  ResolvedConstraints out;
+  const auto& objects = db.Objects();
+  out.required_avail.assign(objects.size(), std::nullopt);
+
+  auto find_object = [&](const std::string& name) -> Result<int> {
+    for (const auto& o : objects) {
+      if (ToLower(o.name) == ToLower(name)) return o.id;
+    }
+    return Status::NotFound(StrFormat("constraint references unknown object '%s'",
+                                      name.c_str()));
+  };
+
+  // Merge co-location pairs into transitive groups with union-find.
+  std::vector<int> parent(objects.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [a_name, b_name] : constraints.co_located) {
+    DBLAYOUT_ASSIGN_OR_RETURN(int a, find_object(a_name));
+    DBLAYOUT_ASSIGN_OR_RETURN(int b, find_object(b_name));
+    parent[static_cast<size_t>(find(a))] = find(b);
+  }
+  std::map<int, std::vector<int>> groups;
+  for (size_t i = 0; i < parent.size(); ++i) {
+    groups[find(static_cast<int>(i))].push_back(static_cast<int>(i));
+  }
+  for (auto& [root, members] : groups) {
+    if (members.size() >= 2) out.co_located_groups.push_back(members);
+  }
+
+  for (const auto& [name, avail] : constraints.avail_requirements) {
+    DBLAYOUT_ASSIGN_OR_RETURN(int id, find_object(name));
+    bool satisfiable = false;
+    for (int j = 0; j < fleet.num_disks(); ++j) {
+      if (fleet.disk(j).avail == avail) {
+        satisfiable = true;
+        break;
+      }
+    }
+    if (!satisfiable) {
+      return Status::FailedPrecondition(
+          StrFormat("object '%s' requires availability %s but no drive provides it",
+                    name.c_str(), AvailabilityName(avail)));
+    }
+    out.required_avail[static_cast<size_t>(id)] = avail;
+  }
+
+  // Members of a co-location group must agree on (or inherit) availability.
+  for (const auto& group : out.co_located_groups) {
+    std::optional<Availability> req;
+    for (int i : group) {
+      const auto& r = out.required_avail[static_cast<size_t>(i)];
+      if (!r.has_value()) continue;
+      if (req.has_value() && *req != *r) {
+        return Status::FailedPrecondition(
+            StrFormat("co-located objects '%s' and friends have conflicting "
+                      "availability requirements",
+                      objects[static_cast<size_t>(group[0])].name.c_str()));
+      }
+      req = r;
+    }
+    if (req.has_value()) {
+      for (int i : group) out.required_avail[static_cast<size_t>(i)] = req;
+    }
+  }
+
+  if (constraints.max_movement_fraction >= 0) {
+    if (constraints.current_layout == nullptr) {
+      return Status::InvalidArgument(
+          "max_movement_fraction requires current_layout");
+    }
+    out.max_movement_blocks = constraints.max_movement_fraction *
+                              static_cast<double>(db.TotalBlocks());
+    out.current_layout = constraints.current_layout;
+  }
+  return out;
+}
+
+Status CheckConstraints(const Layout& layout, const ResolvedConstraints& constraints,
+                        const Database& db, const DiskFleet& fleet) {
+  const auto& objects = db.Objects();
+  for (const auto& group : constraints.co_located_groups) {
+    const std::vector<int> base = layout.DisksOf(group[0]);
+    for (size_t g = 1; g < group.size(); ++g) {
+      if (layout.DisksOf(group[g]) != base) {
+        return Status::FailedPrecondition(
+            StrFormat("objects '%s' and '%s' are not co-located",
+                      objects[static_cast<size_t>(group[0])].name.c_str(),
+                      objects[static_cast<size_t>(group[g])].name.c_str()));
+      }
+    }
+  }
+  for (size_t i = 0; i < constraints.required_avail.size(); ++i) {
+    const auto& req = constraints.required_avail[i];
+    if (!req.has_value()) continue;
+    for (int j : layout.DisksOf(static_cast<int>(i))) {
+      if (fleet.disk(j).avail != *req) {
+        return Status::FailedPrecondition(
+            StrFormat("object '%s' placed on drive %s which lacks availability %s",
+                      objects[i].name.c_str(), fleet.disk(j).name.c_str(),
+                      AvailabilityName(*req)));
+      }
+    }
+  }
+  if (constraints.max_movement_blocks >= 0 && constraints.current_layout != nullptr) {
+    const double moved = Layout::DataMovementBlocks(*constraints.current_layout,
+                                                    layout, db.ObjectSizes());
+    if (moved > constraints.max_movement_blocks * (1 + 1e-9)) {
+      return Status::FailedPrecondition(
+          StrFormat("layout moves %.0f blocks, budget is %.0f", moved,
+                    constraints.max_movement_blocks));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dblayout

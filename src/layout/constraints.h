@@ -1,0 +1,70 @@
+// Manageability and availability constraints (Section 2.3): co-location of
+// objects in one filegroup, per-object availability requirements, and a
+// bound on the data movement needed to migrate from the current layout.
+
+#ifndef DBLAYOUT_LAYOUT_CONSTRAINTS_H_
+#define DBLAYOUT_LAYOUT_CONSTRAINTS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/disk.h"
+#include "storage/layout.h"
+
+namespace dblayout {
+
+/// User-facing constraint specification, by object name.
+struct Constraints {
+  /// Each pair of objects must share one filegroup (identical disk sets).
+  std::vector<std::pair<std::string, std::string>> co_located;
+  /// Object must be placed only on drives with the given availability.
+  std::vector<std::pair<std::string, Availability>> avail_requirements;
+  /// Upper bound on blocks moved relative to `current_layout`, as a fraction
+  /// of the total database size. Negative = unconstrained.
+  double max_movement_fraction = -1.0;
+  /// Layout the database currently has (required when
+  /// max_movement_fraction >= 0).
+  const Layout* current_layout = nullptr;
+};
+
+/// Constraints resolved to object ids, the form the search consumes.
+struct ResolvedConstraints {
+  /// Disjoint groups of >= 2 objects that must be co-located.
+  std::vector<std::vector<int>> co_located_groups;
+  /// Per-object availability requirement (index = object id).
+  std::vector<std::optional<Availability>> required_avail;
+  double max_movement_blocks = -1.0;
+  const Layout* current_layout = nullptr;
+
+  /// True if object `i` may be placed on drive `j` of `fleet`.
+  bool DiskAllowed(int i, int j, const DiskFleet& fleet) const {
+    if (static_cast<size_t>(i) >= required_avail.size()) return true;
+    const auto& req = required_avail[static_cast<size_t>(i)];
+    return !req.has_value() || fleet.disk(j).avail == *req;
+  }
+
+  /// Drives of `fleet` usable by every member of the object set `objects`.
+  std::vector<int> AllowedDisks(const std::vector<int>& objects,
+                                const DiskFleet& fleet) const;
+};
+
+/// Resolves names to object ids and merges transitive co-location pairs into
+/// groups. Fails on unknown object names, on a satisfiable-looking movement
+/// bound without a current layout, and on availability requirements no drive
+/// can satisfy.
+Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
+                                               const Database& db,
+                                               const DiskFleet& fleet);
+
+/// Verifies that `layout` satisfies `constraints` (used by tests and by the
+/// advisor before returning a recommendation).
+Status CheckConstraints(const Layout& layout, const ResolvedConstraints& constraints,
+                        const Database& db, const DiskFleet& fleet);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_LAYOUT_CONSTRAINTS_H_

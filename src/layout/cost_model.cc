@@ -1,0 +1,52 @@
+#include "layout/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dblayout {
+
+double CostModel::SubplanCost(const SubplanAccess& subplan, const Layout& layout) const {
+  double max_cost = 0;
+  for (int j = 0; j < fleet_.num_disks(); ++j) {
+    const DiskDrive& d = fleet_.disk(j);
+    double transfer = 0;
+    double min_blocks_on_disk = std::numeric_limits<double>::infinity();
+    int k = 0;
+    for (const ObjectAccess& a : subplan.accesses) {
+      const double frac = layout.x(a.object_id, j);
+      if (frac <= 0) continue;
+      const double blocks_on_disk = frac * a.blocks;
+      const double ms_per_block =
+          a.read_modify_write ? d.ReadMsPerBlock() + d.WriteMsPerBlock()
+          : a.is_write        ? d.WriteMsPerBlock()
+                              : d.ReadMsPerBlock();
+      transfer += blocks_on_disk * ms_per_block;
+      min_blocks_on_disk = std::min(min_blocks_on_disk, blocks_on_disk);
+      ++k;
+    }
+    double seek = 0;
+    if (k > 1) seek = static_cast<double>(k) * d.seek_ms * min_blocks_on_disk;
+    max_cost = std::max(max_cost, transfer + seek);
+  }
+  return max_cost;
+}
+
+double CostModel::StatementCost(const StatementProfile& statement,
+                                const Layout& layout) const {
+  double cost = 0;
+  for (const SubplanAccess& sp : statement.subplans) {
+    cost += SubplanCost(sp, layout);
+  }
+  return cost;
+}
+
+double CostModel::WorkloadCost(const WorkloadProfile& profile,
+                               const Layout& layout) const {
+  double total = 0;
+  for (const StatementProfile& s : profile.statements) {
+    total += s.weight * StatementCost(s, layout);
+  }
+  return total;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,47 @@
+// Analytic cost model of Section 5 (Fig. 7): estimates the I/O response
+// time of a statement under a candidate layout without materializing the
+// layout or executing anything.
+//
+// Per non-blocking sub-plan P and drive D_j:
+//   TransferCost = sum_i x_ij * B(|R_i|, P) / T_j      (T = read or write rate)
+//   SeekCost     = k * S_j * min_i (x_ij * B(|R_i|, P))   if k > 1 objects of
+//                  P are on D_j (co-accessed objects are read at rates
+//                  proportional to their block counts, so ~min blocks
+//                  interleaving rounds occur, each costing k seeks), else 0.
+// The sub-plan costs max_j (TransferCost + SeekCost); the statement costs
+// the sum over its sub-plans.
+
+#ifndef DBLAYOUT_LAYOUT_COST_MODEL_H_
+#define DBLAYOUT_LAYOUT_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "storage/disk.h"
+#include "storage/layout.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+
+class CostModel {
+ public:
+  explicit CostModel(const DiskFleet& fleet) : fleet_(fleet) {}
+
+  /// Estimated I/O response time (ms) of one sub-plan under `layout`.
+  double SubplanCost(const SubplanAccess& subplan, const Layout& layout) const;
+
+  /// Estimated I/O response time (ms) of one analyzed statement
+  /// (sum over its non-blocking sub-plans). Unweighted.
+  double StatementCost(const StatementProfile& statement, const Layout& layout) const;
+
+  /// Weighted total estimated I/O response time (ms) of the workload:
+  /// sum_Q w_Q * Cost(Q, L) — the objective of Fig. 2.
+  double WorkloadCost(const WorkloadProfile& profile, const Layout& layout) const;
+
+  const DiskFleet& fleet() const { return fleet_; }
+
+ private:
+  const DiskFleet& fleet_;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_LAYOUT_COST_MODEL_H_

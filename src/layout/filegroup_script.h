@@ -1,0 +1,37 @@
+// Turns a recommended layout into the filegroup DDL a DBA would actually
+// run: one filegroup per distinct drive set, one file per member drive
+// (sized to the share of the objects it will hold, plus headroom), and a
+// rebuild statement per object moving it onto its filegroup. The dialect is
+// SQL-Server-flavored, matching the paper's target system.
+
+#ifndef DBLAYOUT_LAYOUT_FILEGROUP_SCRIPT_H_
+#define DBLAYOUT_LAYOUT_FILEGROUP_SCRIPT_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "storage/disk.h"
+#include "storage/layout.h"
+
+namespace dblayout {
+
+struct FilegroupScriptOptions {
+  /// Database name used in ALTER DATABASE statements; empty uses db.name().
+  std::string database_name;
+  /// Extra fraction of capacity provisioned per file beyond the exact share
+  /// of the objects assigned to it (growth headroom).
+  double headroom = 0.20;
+  /// Path template for data files; "{disk}" and "{file}" are substituted.
+  std::string path_template = "{disk}:/data/{file}.ndf";
+};
+
+/// Renders the migration script for `layout`. The layout must match the
+/// database's objects and the fleet (checked; returns an error comment
+/// block instead of a script if it does not validate).
+std::string GenerateFilegroupScript(const Layout& layout, const Database& db,
+                                    const DiskFleet& fleet,
+                                    const FilegroupScriptOptions& options = {});
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_LAYOUT_FILEGROUP_SCRIPT_H_

@@ -1,0 +1,592 @@
+#include "layout/search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "graph/partition.h"
+
+namespace dblayout {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Fractional blocks used on every drive by `layout`.
+std::vector<double> FractionalUsed(const Layout& layout,
+                                   const std::vector<int64_t>& sizes) {
+  std::vector<double> used(static_cast<size_t>(layout.num_disks()), 0.0);
+  for (int i = 0; i < layout.num_objects(); ++i) {
+    for (int j = 0; j < layout.num_disks(); ++j) {
+      used[static_cast<size_t>(j)] +=
+          layout.x(i, j) * static_cast<double>(sizes[static_cast<size_t>(i)]);
+    }
+  }
+  return used;
+}
+
+/// Sum of access-graph edge weights between two object sets.
+double EdgeWeightBetween(const WeightedGraph& g, const std::vector<int>& a,
+                         const std::vector<int>& b) {
+  double total = 0;
+  for (int u : a) {
+    for (const auto& [v, w] : g.Neighbors(static_cast<size_t>(u))) {
+      if (std::find(b.begin(), b.end(), static_cast<int>(v)) != b.end()) total += w;
+    }
+  }
+  return total;
+}
+
+/// All subsets of `pool` with 1 <= size <= k, emitted via `fn`.
+void ForEachSubsetUpToK(const std::vector<int>& pool, int k,
+                        const std::function<void(const std::vector<int>&)>& fn) {
+  std::vector<int> subset;
+  std::function<void(size_t, int)> rec = [&](size_t start, int remaining) {
+    if (!subset.empty()) fn(subset);
+    if (remaining == 0) return;
+    for (size_t i = start; i < pool.size(); ++i) {
+      subset.push_back(pool[i]);
+      rec(i + 1, remaining - 1);
+      subset.pop_back();
+    }
+  };
+  rec(0, k);
+}
+
+/// Groups every object into its co-location group (singleton if
+/// unconstrained). The greedy step widens whole groups so co-location is
+/// preserved by construction.
+std::vector<std::vector<int>> ObjectGroups(size_t num_objects,
+                                           const ResolvedConstraints& constraints) {
+  std::vector<bool> covered(num_objects, false);
+  std::vector<std::vector<int>> groups;
+  for (const auto& g : constraints.co_located_groups) {
+    groups.push_back(g);
+    for (int i : g) covered[static_cast<size_t>(i)] = true;
+  }
+  for (size_t i = 0; i < num_objects; ++i) {
+    if (!covered[i]) groups.push_back({static_cast<int>(i)});
+  }
+  return groups;
+}
+
+}  // namespace
+
+Result<Layout> TsGreedySearch::InitialLayout(
+    const WorkloadProfile& profile, const ResolvedConstraints& constraints) const {
+  const auto& objects = db_.Objects();
+  const std::vector<int64_t> sizes = db_.ObjectSizes();
+  const int n = static_cast<int>(objects.size());
+  const int m = fleet_.num_disks();
+  if (n == 0) return Status::InvalidArgument("database has no objects");
+  if (m == 0) return Status::InvalidArgument("fleet has no drives");
+
+  // Step 1a: partition the access graph into m parts maximizing the cut.
+  WeightedGraph g = BuildAccessGraph(profile);
+  PartitionOptions popt;
+  popt.num_partitions = m;
+  for (const auto& group : constraints.co_located_groups) {
+    std::vector<size_t> nodes;
+    for (int i : group) nodes.push_back(static_cast<size_t>(i));
+    popt.must_co_locate.push_back(std::move(nodes));
+  }
+  const Partitioning part = MaxCutPartition(g, popt);
+
+  struct Part {
+    std::vector<int> members;
+    double node_weight = 0;
+    int64_t size_blocks = 0;
+  };
+  std::vector<Part> parts(static_cast<size_t>(m));
+  for (int i = 0; i < n; ++i) {
+    Part& p = parts[static_cast<size_t>(part[static_cast<size_t>(i)])];
+    p.members.push_back(i);
+    p.node_weight += g.node_weight(static_cast<size_t>(i));
+    p.size_blocks += sizes[static_cast<size_t>(i)];
+  }
+  parts.erase(std::remove_if(parts.begin(), parts.end(),
+                             [](const Part& p) { return p.members.empty(); }),
+              parts.end());
+  // Step 1b: assign partitions in descending order of total node weight.
+  std::stable_sort(parts.begin(), parts.end(), [](const Part& a, const Part& b) {
+    return a.node_weight > b.node_weight;
+  });
+
+  Layout layout(n, m);
+  std::vector<double> used(static_cast<size_t>(m), 0.0);
+  std::vector<bool> disk_taken(static_cast<size_t>(m), false);
+  struct Assigned {
+    std::vector<int> members;
+    std::vector<int> disks;
+  };
+  std::vector<Assigned> assigned;
+  const std::vector<int> fastest = fleet_.ByDecreasingTransferRate();
+
+  for (const Part& p : parts) {
+    const std::vector<int> allowed = constraints.AllowedDisks(p.members, fleet_);
+    if (allowed.empty()) {
+      return Status::FailedPrecondition(
+          StrFormat("no drive satisfies the constraints of object '%s'",
+                    objects[static_cast<size_t>(p.members[0])].name.c_str()));
+    }
+    // Smallest set of unused drives, fastest first, that can hold the
+    // partition.
+    std::vector<int> chosen;
+    int64_t capacity = 0;
+    for (int j : fastest) {
+      if (disk_taken[static_cast<size_t>(j)]) continue;
+      if (std::find(allowed.begin(), allowed.end(), j) == allowed.end()) continue;
+      chosen.push_back(j);
+      capacity += fleet_.disk(j).capacity_blocks;
+      if (static_cast<double>(capacity) * options_.capacity_margin >=
+          static_cast<double>(p.size_blocks)) {
+        break;
+      }
+    }
+    const bool fits = !chosen.empty() &&
+                      static_cast<double>(capacity) * options_.capacity_margin >=
+                          static_cast<double>(p.size_blocks);
+    if (!fits) {
+      // No disjoint drive set exists: merge with the previously assigned
+      // partition with the smallest co-access (edge weight) to this one,
+      // among those whose drives are allowed and have room.
+      const Assigned* best = nullptr;
+      double best_edge = std::numeric_limits<double>::infinity();
+      for (const Assigned& a : assigned) {
+        bool drives_ok = true;
+        double room = 0;
+        for (int j : a.disks) {
+          if (std::find(allowed.begin(), allowed.end(), j) == allowed.end()) {
+            drives_ok = false;
+            break;
+          }
+          room += static_cast<double>(fleet_.disk(j).capacity_blocks) *
+                      options_.capacity_margin -
+                  used[static_cast<size_t>(j)];
+        }
+        if (!drives_ok || room < static_cast<double>(p.size_blocks)) continue;
+        const double edge = EdgeWeightBetween(g, p.members, a.members);
+        if (edge < best_edge) {
+          best_edge = edge;
+          best = &a;
+        }
+      }
+      if (best != nullptr) {
+        chosen = best->disks;
+      } else {
+        // Last resort: stripe the partition across all allowed drives.
+        chosen = allowed;
+      }
+    }
+    for (int i : p.members) layout.AssignProportional(i, chosen, fleet_);
+    for (int i : p.members) {
+      for (int j : chosen) {
+        used[static_cast<size_t>(j)] +=
+            layout.x(i, j) * static_cast<double>(sizes[static_cast<size_t>(i)]);
+      }
+    }
+    if (fits) {
+      for (int j : chosen) disk_taken[static_cast<size_t>(j)] = true;
+    }
+    assigned.push_back(Assigned{p.members, chosen});
+  }
+
+  for (int j = 0; j < m; ++j) {
+    if (used[static_cast<size_t>(j)] >
+        static_cast<double>(fleet_.disk(j).capacity_blocks) + kEps) {
+      return Status::CapacityExceeded(
+          StrFormat("database does not fit: drive %s over capacity in every "
+                    "feasible assignment",
+                    fleet_.disk(j).name.c_str()));
+    }
+  }
+  return layout;
+}
+
+Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
+                                           const ResolvedConstraints& constraints,
+                                           Layout layout, SearchResult* stats) const {
+  const std::vector<int64_t> sizes = db_.ObjectSizes();
+  const CostModel cost_model(fleet_);
+  const std::vector<std::vector<int>> groups =
+      ObjectGroups(db_.Objects().size(), constraints);
+
+  double cost = cost_model.WorkloadCost(profile, layout);
+  ++stats->layouts_evaluated;
+  stats->initial_cost = cost;
+
+  std::vector<double> used = FractionalUsed(layout, sizes);
+
+  for (int iter = 0; iter < options_.max_greedy_iterations; ++iter) {
+    double best_cost = cost;
+    Layout best_layout;
+    std::vector<double> best_used;
+    bool found = false;
+
+    for (const auto& group : groups) {
+      const std::vector<int> current = layout.DisksOf(group[0]);
+      std::vector<int> extras;
+      for (int j : constraints.AllowedDisks(group, fleet_)) {
+        if (std::find(current.begin(), current.end(), j) == current.end()) {
+          extras.push_back(j);
+        }
+      }
+
+      auto consider_set = [&](const std::vector<int>& disk_set) {
+        Layout candidate = layout;
+        for (int i : group) candidate.AssignProportional(i, disk_set, fleet_);
+
+        // Incremental fractional capacity check.
+        std::vector<double> cand_used = used;
+        for (int i : group) {
+          const double size = static_cast<double>(sizes[static_cast<size_t>(i)]);
+          for (int j = 0; j < layout.num_disks(); ++j) {
+            cand_used[static_cast<size_t>(j)] +=
+                (candidate.x(i, j) - layout.x(i, j)) * size;
+          }
+        }
+        for (int j = 0; j < layout.num_disks(); ++j) {
+          if (cand_used[static_cast<size_t>(j)] >
+              static_cast<double>(fleet_.disk(j).capacity_blocks) *
+                  options_.capacity_margin) {
+            return;  // violates capacity
+          }
+        }
+        if (constraints.max_movement_blocks >= 0 &&
+            constraints.current_layout != nullptr) {
+          const double moved = Layout::DataMovementBlocks(
+              *constraints.current_layout, candidate, sizes);
+          if (moved > constraints.max_movement_blocks) return;
+        }
+
+        const double c = cost_model.WorkloadCost(profile, candidate);
+        ++stats->layouts_evaluated;
+        if (c < best_cost - kEps) {
+          best_cost = c;
+          best_layout = std::move(candidate);
+          best_used = std::move(cand_used);
+          found = true;
+        }
+      };
+      auto consider_add = [&](const std::vector<int>& add) {
+        std::vector<int> wider = current;
+        wider.insert(wider.end(), add.begin(), add.end());
+        std::sort(wider.begin(), wider.end());
+        consider_set(wider);
+      };
+      if (!extras.empty()) {
+        ForEachSubsetUpToK(extras, options_.greedy_k, consider_add);
+      }
+      if (options_.consider_jump_moves) {
+        // Prefix jumps: any prefix of the allowed drives under two
+        // orderings — fastest sequential read first, and smallest write
+        // penalty first (so write-hot objects can skip RAID 5 drives in a
+        // single move).
+        const std::vector<int> allowed = constraints.AllowedDisks(group, fleet_);
+        for (const bool write_friendly : {false, true}) {
+          std::vector<int> order = allowed;
+          std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+            const DiskDrive& da = fleet_.disk(a);
+            const DiskDrive& db = fleet_.disk(b);
+            if (write_friendly && da.WritePenalty() != db.WritePenalty()) {
+              return da.WritePenalty() < db.WritePenalty();
+            }
+            return da.read_mb_s > db.read_mb_s;
+          });
+          std::vector<int> prefix;
+          for (int j : order) {
+            prefix.push_back(j);
+            std::vector<int> sorted_prefix = prefix;
+            std::sort(sorted_prefix.begin(), sorted_prefix.end());
+            if (sorted_prefix != current) consider_set(sorted_prefix);
+          }
+        }
+      }
+      if (options_.consider_narrowing && current.size() >= 2) {
+        for (size_t drop = 0; drop < current.size(); ++drop) {
+          std::vector<int> narrower;
+          for (size_t j = 0; j < current.size(); ++j) {
+            if (j != drop) narrower.push_back(current[j]);
+          }
+          consider_set(narrower);
+        }
+      }
+    }
+
+    if (!found) break;
+    layout = std::move(best_layout);
+    used = std::move(best_used);
+    cost = best_cost;
+    ++stats->greedy_iterations;
+  }
+  stats->cost = cost;
+  return layout;
+}
+
+Result<Layout> TsGreedySearch::MigrateTowardTarget(
+    const WorkloadProfile& profile, const ResolvedConstraints& constraints,
+    const Layout& target, SearchResult* stats) const {
+  DBLAYOUT_CHECK(constraints.current_layout != nullptr);
+  const std::vector<int64_t> sizes = db_.ObjectSizes();
+  const CostModel cost_model(fleet_);
+  const std::vector<std::vector<int>> groups =
+      ObjectGroups(db_.Objects().size(), constraints);
+
+  Layout layout = *constraints.current_layout;
+
+  // Hard constraints first: a group whose current placement violates an
+  // availability requirement (or sits apart from its co-location partners)
+  // must move to its target row regardless of cost, inside the budget.
+  for (const auto& group : groups) {
+    bool violating = false;
+    for (int i : group) {
+      for (int j : layout.DisksOf(i)) {
+        if (!constraints.DiskAllowed(i, j, fleet_)) violating = true;
+      }
+      if (layout.DisksOf(i) != layout.DisksOf(group[0])) violating = true;
+    }
+    if (!violating) continue;
+    for (int i : group) {
+      for (int j = 0; j < layout.num_disks(); ++j) {
+        layout.set_x(i, j, target.x(i, j));
+      }
+    }
+  }
+  {
+    const double moved = Layout::DataMovementBlocks(*constraints.current_layout,
+                                                    layout, sizes);
+    if (constraints.max_movement_blocks >= 0 &&
+        moved > constraints.max_movement_blocks) {
+      return Status::FailedPrecondition(StrFormat(
+          "satisfying the availability/co-location constraints requires moving "
+          "%.0f blocks, exceeding the movement budget of %.0f",
+          moved, constraints.max_movement_blocks));
+    }
+  }
+
+  double cost = cost_model.WorkloadCost(profile, layout);
+  ++stats->layouts_evaluated;
+
+  // Candidate move units: single groups, plus pairs of groups connected in
+  // the access graph — separating a co-accessed pair only pays off when
+  // both sides move, so single-group steps alone stall at the barrier.
+  const WeightedGraph g = BuildAccessGraph(profile);
+  std::vector<std::vector<size_t>> units;
+  for (size_t a = 0; a < groups.size(); ++a) units.push_back({a});
+  for (size_t a = 0; a < groups.size(); ++a) {
+    for (size_t b = a + 1; b < groups.size(); ++b) {
+      double edge = 0;
+      for (int u : groups[a]) {
+        for (int v : groups[b]) {
+          edge += g.EdgeWeight(static_cast<size_t>(u), static_cast<size_t>(v));
+        }
+      }
+      if (edge > 0) units.push_back({a, b});
+    }
+  }
+
+  std::vector<bool> migrated(groups.size(), false);
+  for (;;) {
+    double best_ratio = 0;  // cost gain per moved block
+    size_t best_unit = units.size();
+    Layout best_layout;
+    double best_cost = cost;
+    for (size_t u = 0; u < units.size(); ++u) {
+      bool all_migrated = true;
+      for (size_t gi : units[u]) all_migrated = all_migrated && migrated[gi];
+      if (all_migrated) continue;
+      Layout candidate = layout;
+      for (size_t gi : units[u]) {
+        for (int i : groups[gi]) {
+          for (int j = 0; j < layout.num_disks(); ++j) {
+            candidate.set_x(i, j, target.x(i, j));
+          }
+        }
+      }
+      const double moved = Layout::DataMovementBlocks(*constraints.current_layout,
+                                                      candidate, sizes);
+      if (constraints.max_movement_blocks >= 0 &&
+          moved > constraints.max_movement_blocks) {
+        continue;
+      }
+      if (!candidate.Validate(sizes, fleet_).ok()) continue;
+      const double c = cost_model.WorkloadCost(profile, candidate);
+      ++stats->layouts_evaluated;
+      const double step_moved = std::max(
+          1.0, Layout::DataMovementBlocks(layout, candidate, sizes));
+      const double ratio = (cost - c) / step_moved;
+      if (c < cost - kEps && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_unit = u;
+        best_layout = std::move(candidate);
+        best_cost = c;
+      }
+    }
+    if (best_unit == units.size()) break;
+    layout = std::move(best_layout);
+    cost = best_cost;
+    for (size_t gi : units[best_unit]) migrated[gi] = true;
+    ++stats->greedy_iterations;
+  }
+  stats->cost = cost;
+  stats->initial_cost = cost;
+  return layout;
+}
+
+Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
+                                         const ResolvedConstraints& constraints) const {
+  SearchResult result;
+  DBLAYOUT_ASSIGN_OR_RETURN(Layout initial, InitialLayout(profile, constraints));
+
+  const std::vector<int64_t> sizes = db_.ObjectSizes();
+  // If an incrementality budget is in force and the redesigned starting
+  // point would blow it, switch to incremental mode: migrate object groups
+  // from the current layout toward the unconstrained recommendation, best
+  // value per moved block first, within the budget.
+  if (constraints.max_movement_blocks >= 0 && constraints.current_layout != nullptr) {
+    const double moved =
+        Layout::DataMovementBlocks(*constraints.current_layout, initial, sizes);
+    if (moved > constraints.max_movement_blocks) {
+      ResolvedConstraints unconstrained = constraints;
+      unconstrained.max_movement_blocks = -1;
+      unconstrained.current_layout = nullptr;
+      SearchResult target_stats;
+      DBLAYOUT_ASSIGN_OR_RETURN(
+          Layout target,
+          GreedyWiden(profile, unconstrained, std::move(initial), &target_stats));
+      result.layouts_evaluated += target_stats.layouts_evaluated;
+      DBLAYOUT_ASSIGN_OR_RETURN(
+          initial, MigrateTowardTarget(profile, constraints, target, &result));
+    }
+  }
+
+  DBLAYOUT_ASSIGN_OR_RETURN(
+      Layout final_layout,
+      GreedyWiden(profile, constraints, std::move(initial), &result));
+  DBLAYOUT_RETURN_NOT_OK(final_layout.Validate(sizes, fleet_));
+  DBLAYOUT_RETURN_NOT_OK(CheckConstraints(final_layout, constraints, db_, fleet_));
+
+  if (options_.fallback_to_full_striping) {
+    const Layout striped = Layout::FullStriping(final_layout.num_objects(), fleet_);
+    if (striped.Validate(sizes, fleet_).ok() &&
+        CheckConstraints(striped, constraints, db_, fleet_).ok()) {
+      const CostModel cost_model(fleet_);
+      const double striped_cost = cost_model.WorkloadCost(profile, striped);
+      ++result.layouts_evaluated;
+      if (striped_cost < result.cost - kEps) {
+        result.cost = striped_cost;
+        result.layout = striped;
+        return result;
+      }
+    }
+  }
+  result.layout = std::move(final_layout);
+  return result;
+}
+
+Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet,
+                                      const WorkloadProfile& profile,
+                                      const ResolvedConstraints& constraints) {
+  const std::vector<int64_t> sizes = db.ObjectSizes();
+  const int m = fleet.num_disks();
+  const std::vector<std::vector<int>> groups =
+      ObjectGroups(db.Objects().size(), constraints);
+
+  // Enumerate per *group* so co-location holds by construction.
+  std::vector<std::vector<std::vector<int>>> group_choices;
+  double combinations = 1;
+  for (const auto& group : groups) {
+    const std::vector<int> allowed = constraints.AllowedDisks(group, fleet);
+    if (allowed.empty()) {
+      return Status::FailedPrecondition("constraints leave an object with no drives");
+    }
+    std::vector<std::vector<int>> choices;
+    ForEachSubsetUpToK(allowed, static_cast<int>(allowed.size()),
+                       [&](const std::vector<int>& s) { choices.push_back(s); });
+    combinations *= static_cast<double>(choices.size());
+    group_choices.push_back(std::move(choices));
+  }
+  if (combinations > 5e6) {
+    return Status::InvalidArgument(
+        StrFormat("exhaustive search infeasible: %.3g combinations", combinations));
+  }
+
+  const CostModel cost_model(fleet);
+  SearchResult result;
+  result.cost = std::numeric_limits<double>::infinity();
+  Layout current(static_cast<int>(db.Objects().size()), m);
+  bool any_valid = false;
+
+  std::function<void(size_t)> rec = [&](size_t gi) {
+    if (gi == groups.size()) {
+      // Fractional capacity check.
+      const std::vector<double> used = FractionalUsed(current, sizes);
+      for (int j = 0; j < m; ++j) {
+        if (used[static_cast<size_t>(j)] >
+            static_cast<double>(fleet.disk(j).capacity_blocks) + kEps) {
+          return;
+        }
+      }
+      if (constraints.max_movement_blocks >= 0 &&
+          constraints.current_layout != nullptr &&
+          Layout::DataMovementBlocks(*constraints.current_layout, current, sizes) >
+              constraints.max_movement_blocks) {
+        return;
+      }
+      const double c = cost_model.WorkloadCost(profile, current);
+      ++result.layouts_evaluated;
+      if (c < result.cost) {
+        result.cost = c;
+        result.layout = current;
+        any_valid = true;
+      }
+      return;
+    }
+    for (const auto& disks : group_choices[gi]) {
+      for (int i : groups[gi]) current.AssignProportional(i, disks, fleet);
+      rec(gi + 1);
+    }
+  };
+  rec(0);
+  if (!any_valid) {
+    return Status::CapacityExceeded("no valid layout exists for the given fleet");
+  }
+  DBLAYOUT_RETURN_NOT_OK(result.layout.Validate(sizes, fleet));
+  return result;
+}
+
+Result<Layout> RandomLayout(const Database& db, const DiskFleet& fleet, Rng* rng,
+                            int max_attempts) {
+  const std::vector<int64_t> sizes = db.ObjectSizes();
+  const int n = static_cast<int>(sizes.size());
+  const int m = fleet.num_disks();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Layout layout(n, m);
+    for (int i = 0; i < n; ++i) {
+      const int width = static_cast<int>(rng->UniformInt(1, m));
+      std::vector<int> disks(static_cast<size_t>(m));
+      std::iota(disks.begin(), disks.end(), 0);
+      rng->Shuffle(&disks);
+      disks.resize(static_cast<size_t>(width));
+      // Random positive fractions, normalized.
+      std::vector<double> f(static_cast<size_t>(width));
+      double total = 0;
+      for (double& v : f) {
+        v = rng->UniformDouble(0.2, 1.0);
+        total += v;
+      }
+      for (int d = 0; d < width; ++d) {
+        layout.set_x(i, disks[static_cast<size_t>(d)], f[static_cast<size_t>(d)] / total);
+      }
+    }
+    if (layout.Validate(sizes, fleet).ok()) return layout;
+  }
+  return Status::CapacityExceeded(
+      StrFormat("no random valid layout found in %d attempts", max_attempts));
+}
+
+}  // namespace dblayout

@@ -1,0 +1,103 @@
+// Search strategies for the database layout problem (Section 6):
+//  - FULL STRIPING (baseline, via Layout::FullStriping)
+//  - TS-GREEDY (Fig. 9): max-cut partitioning of the access graph, disjoint
+//    partition-to-disk assignment, then greedy parallelism widening
+//  - exhaustive enumeration over proportional-fill disk subsets (ground
+//    truth for small instances)
+//  - random valid layouts (used by the cost-model validation experiment)
+
+#ifndef DBLAYOUT_LAYOUT_SEARCH_H_
+#define DBLAYOUT_LAYOUT_SEARCH_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "layout/constraints.h"
+#include "layout/cost_model.h"
+
+namespace dblayout {
+
+struct SearchOptions {
+  /// Greedy widening breadth: at most k additional drives per move (the
+  /// paper uses k = 1 and reports near-exhaustive quality).
+  int greedy_k = 1;
+  /// Safety margin on fractional capacity checks during search (exact
+  /// rounded validation happens once at the end).
+  double capacity_margin = 0.999;
+  /// Cap on greedy iterations (defensive; the paper's loop stops at the
+  /// first non-improving iteration anyway).
+  int max_greedy_iterations = 1000;
+  /// Also consider *jump moves*: re-assigning an object to any prefix of
+  /// its allowed drives ordered fastest-read-first or
+  /// lowest-write-penalty-first. The paper notes TS-GREEDY can stall in a
+  /// local minimum because going from 0 to 1 shared drives raises seek cost
+  /// even though full overlap would be cheap; prefix jumps cross that
+  /// barrier in one step (including "widen to all plain drives, skipping
+  /// RAID 5" for write-hot objects).
+  bool consider_jump_moves = true;
+  /// Also consider *removing* one drive from an object per move (an
+  /// extension beyond Fig. 9, which only widens). Essential for incremental
+  /// re-layout: starting from an existing wide layout, separation of
+  /// co-accessed objects is reachable only by narrowing.
+  bool consider_narrowing = true;
+  /// Never return a layout costlier than FULL STRIPING: if full striping is
+  /// valid, satisfies the constraints, and estimates cheaper, return it.
+  bool fallback_to_full_striping = true;
+};
+
+struct SearchResult {
+  Layout layout;
+  double cost = 0;               ///< estimated workload cost of `layout`, ms
+  int greedy_iterations = 0;     ///< improving iterations taken by step 2
+  int64_t layouts_evaluated = 0; ///< cost-model invocations
+  double initial_cost = 0;       ///< cost after step 1 (before widening)
+};
+
+class TsGreedySearch {
+ public:
+  TsGreedySearch(const Database& db, const DiskFleet& fleet,
+                 SearchOptions options = {})
+      : db_(db), fleet_(fleet), options_(options) {}
+
+  /// Runs TS-GREEDY for the analyzed workload under `constraints`.
+  Result<SearchResult> Run(const WorkloadProfile& profile,
+                           const ResolvedConstraints& constraints) const;
+
+  /// Step 1 only: the partitioned, disjointly-assigned starting layout.
+  Result<Layout> InitialLayout(const WorkloadProfile& profile,
+                               const ResolvedConstraints& constraints) const;
+
+ private:
+  Result<Layout> GreedyWiden(const WorkloadProfile& profile,
+                             const ResolvedConstraints& constraints, Layout layout,
+                             SearchResult* stats) const;
+
+  /// Incremental mode (movement budget in force): computes the layout the
+  /// unconstrained search would pick, then migrates object groups from the
+  /// current layout toward it — whole groups, best cost-gain per moved block
+  /// first — while the total movement stays within budget.
+  Result<Layout> MigrateTowardTarget(const WorkloadProfile& profile,
+                                     const ResolvedConstraints& constraints,
+                                     const Layout& target, SearchResult* stats) const;
+
+  const Database& db_;
+  const DiskFleet& fleet_;
+  SearchOptions options_;
+};
+
+/// Exhaustively enumerates, for every object, all non-empty drive subsets
+/// (proportional fill) and returns the cheapest valid layout. Cost is
+/// (2^m - 1)^n evaluations; intended for micro instances (n*m <= ~20).
+Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet,
+                                      const WorkloadProfile& profile,
+                                      const ResolvedConstraints& constraints);
+
+/// A random valid layout: each object gets a uniformly random non-empty
+/// drive subset with random (normalized) fractions. Retries until the
+/// capacity check passes (gives up after `max_attempts`).
+Result<Layout> RandomLayout(const Database& db, const DiskFleet& fleet, Rng* rng,
+                            int max_attempts = 100);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_LAYOUT_SEARCH_H_

@@ -1,0 +1,888 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "optimizer/selectivity.h"
+
+namespace dblayout {
+
+namespace {
+
+/// A table bound into the FROM clause.
+struct BoundTable {
+  const Table* table = nullptr;
+  std::string bind_name;  ///< alias if present, else table name
+  int object_id = -1;     ///< base object (heap / clustered index)
+};
+
+/// Qualified column name used for order tracking: "<bind_name>.<column>".
+std::string QualName(const std::string& bind, const std::string& col) {
+  return bind + "." + col;
+}
+
+/// State of one input during join enumeration.
+struct JoinInput {
+  std::unique_ptr<PlanNode> plan;
+  double rows = 0;
+  std::set<size_t> tables;  ///< bound-table indices covered
+};
+
+/// Flattens [NOT] EXISTS and IN-subquery predicates into the outer query:
+/// the subquery's tables and conjuncts join the outer FROM list (an IN
+/// subquery additionally contributes the equi-join between the tested
+/// column and the subquery's selected column). For layout purposes the
+/// semi/anti-join distinction only changes cardinalities, not which objects
+/// are co-accessed, so output-row semantics follow the plain join.
+void FlattenSubqueries(SelectStatement* sel) {
+  std::vector<Predicate> flat;
+  for (Predicate& p : sel->where) {
+    if (p.kind != Predicate::Kind::kExists &&
+        p.kind != Predicate::Kind::kInSubquery) {
+      flat.push_back(std::move(p));
+      continue;
+    }
+    if (p.subquery == nullptr) continue;  // defensive
+    SelectStatement sub = *p.subquery;
+    FlattenSubqueries(&sub);
+    if (p.kind == Predicate::Kind::kInSubquery && !sub.items.empty()) {
+      Predicate join;
+      join.kind = Predicate::Kind::kJoin;
+      join.lhs = p.lhs;
+      join.op = CompareOp::kEq;
+      join.rhs_column = sub.items[0].column;
+      flat.push_back(std::move(join));
+    }
+    for (TableRef& tr : sub.from) {
+      tr.semi_join = true;
+      sel->from.push_back(std::move(tr));
+    }
+    for (Predicate& w : sub.where) flat.push_back(std::move(w));
+  }
+  sel->where = std::move(flat);
+}
+
+class SelectPlanner {
+ public:
+  SelectPlanner(const Database& db, const OptimizerOptions& options,
+                const SelectStatement& sel)
+      : db_(db), options_(options), sel_(sel) {
+    FlattenSubqueries(&sel_);
+  }
+
+  Result<std::unique_ptr<PlanNode>> Run();
+
+ private:
+  Status Bind();
+  /// Resolves a column reference to (bound-table index, column). Unqualified
+  /// names search all bound tables; ambiguity resolves to the first match.
+  Result<std::pair<size_t, const Column*>> Resolve(const ColumnRef& ref) const;
+
+  Result<std::unique_ptr<PlanNode>> BuildAccessPath(size_t t);
+  Result<std::unique_ptr<PlanNode>> BuildJoinTree();
+  Result<std::unique_ptr<PlanNode>> BuildJoinTreeDp(
+      std::vector<JoinInput> inputs);
+  Result<std::unique_ptr<PlanNode>> BuildJoinTreeGreedy(
+      std::vector<JoinInput> inputs);
+
+  /// Physical cost of a plan subtree in sequential-block-equivalents:
+  /// leaf I/O (random blocks weighted by the random-I/O penalty) plus
+  /// per-operator CPU/blocking surcharges. Used to pick join orders and
+  /// implementations, like a System-R cost function.
+  double ImplCost(const PlanNode& node) const;
+  std::unique_ptr<PlanNode> AddAggregation(std::unique_ptr<PlanNode> input);
+  std::unique_ptr<PlanNode> AddOrderByAndTop(std::unique_ptr<PlanNode> input);
+
+  /// Joins `left` (multi-table) with single-table input `right`, choosing
+  /// the physical operator. `join_preds` connect the two sides.
+  Result<std::unique_ptr<PlanNode>> MakeJoin(JoinInput* left, JoinInput* right,
+                                             const std::vector<const Predicate*>& join_preds);
+
+  const Database& db_;
+  const OptimizerOptions& options_;
+  SelectStatement sel_;
+
+  std::vector<BoundTable> bound_;
+  std::vector<std::vector<const Predicate*>> local_preds_;  // per bound table
+  std::vector<double> local_sel_;                            // per bound table
+  // Join predicates with both endpoints resolved.
+  struct JoinPred {
+    const Predicate* pred;
+    size_t lhs_table, rhs_table;
+    const Column* lhs_col;
+    const Column* rhs_col;
+  };
+  std::vector<JoinPred> join_preds_;
+};
+
+Status SelectPlanner::Bind() {
+  if (sel_.from.empty()) return Status::InvalidArgument("SELECT with empty FROM");
+  for (const auto& ref : sel_.from) {
+    const Table* t = db_.FindTable(ref.table);
+    if (t == nullptr) {
+      return Status::NotFound(StrFormat("unknown table '%s'", ref.table.c_str()));
+    }
+    auto id = db_.ObjectIdOfTable(ref.table);
+    DBLAYOUT_CHECK(id.ok());
+    bound_.push_back(BoundTable{t, ref.BindName(), id.value()});
+  }
+  local_preds_.assign(bound_.size(), {});
+  local_sel_.assign(bound_.size(), 1.0);
+
+  for (const auto& p : sel_.where) {
+    if (p.kind == Predicate::Kind::kJoin) {
+      auto lhs = Resolve(p.lhs);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = Resolve(p.rhs_column);
+      if (!rhs.ok()) return rhs.status();
+      if (lhs.value().first == rhs.value().first) {
+        // Same-table column comparison: treat as a cheap local filter.
+        local_preds_[lhs.value().first].push_back(&p);
+        local_sel_[lhs.value().first] *= kDefaultRangeSelectivity;
+      } else {
+        join_preds_.push_back(JoinPred{&p, lhs.value().first, rhs.value().first,
+                                       lhs.value().second, rhs.value().second});
+      }
+    } else {
+      auto lhs = Resolve(p.lhs);
+      if (!lhs.ok()) return lhs.status();
+      local_preds_[lhs.value().first].push_back(&p);
+      local_sel_[lhs.value().first] *= PredicateSelectivity(p, lhs.value().second);
+    }
+  }
+  for (double& s : local_sel_) s = std::max(s, kMinSelectivity);
+  return Status::OK();
+}
+
+Result<std::pair<size_t, const Column*>> SelectPlanner::Resolve(
+    const ColumnRef& ref) const {
+  if (!ref.qualifier.empty()) {
+    for (size_t t = 0; t < bound_.size(); ++t) {
+      if (ToLower(bound_[t].bind_name) == ToLower(ref.qualifier) ||
+          ToLower(bound_[t].table->name) == ToLower(ref.qualifier)) {
+        const Column* col = bound_[t].table->FindColumn(ref.column);
+        if (col == nullptr) {
+          return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                            ref.column.c_str(),
+                                            bound_[t].table->name.c_str()));
+        }
+        return std::make_pair(t, col);
+      }
+    }
+    return Status::NotFound(
+        StrFormat("unknown table or alias '%s'", ref.qualifier.c_str()));
+  }
+  for (size_t t = 0; t < bound_.size(); ++t) {
+    const Column* col = bound_[t].table->FindColumn(ref.column);
+    if (col != nullptr) return std::make_pair(t, col);
+  }
+  return Status::NotFound(StrFormat("unresolved column '%s'", ref.column.c_str()));
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::BuildAccessPath(size_t t) {
+  const BoundTable& bt = bound_[t];
+  const Table& table = *bt.table;
+  const double data_blocks = static_cast<double>(table.DataBlocks());
+  const double out_rows =
+      std::max(1.0, static_cast<double>(table.row_count) * local_sel_[t]);
+
+  // Candidate: full scan.
+  double best_cost = data_blocks;
+  enum class Path { kScan, kClusteredSeek, kNcSeek } best_path = Path::kScan;
+  const Predicate* best_pred = nullptr;
+  const Index* best_index = nullptr;
+  double best_pred_sel = 1.0;
+
+  for (const Predicate* p : local_preds_[t]) {
+    // Only sargable shapes drive a seek.
+    const bool sargable = p->kind == Predicate::Kind::kBetween ||
+                          p->kind == Predicate::Kind::kIn ||
+                          (p->kind == Predicate::Kind::kCompareLiteral &&
+                           p->op != CompareOp::kNe) ||
+                          p->kind == Predicate::Kind::kLike;
+    if (!sargable) continue;
+    const Column* col = table.FindColumn(p->lhs.column);
+    if (col == nullptr) continue;
+    const double psel = std::max(PredicateSelectivity(*p, col), kMinSelectivity);
+
+    if (!table.clustered_key.empty() && table.clustered_key[0] == p->lhs.column) {
+      const double cost = std::max(1.0, psel * data_blocks);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_path = Path::kClusteredSeek;
+        best_pred = p;
+        best_pred_sel = psel;
+      }
+    }
+    if (const Index* ix = db_.IndexOnColumn(table.name, p->lhs.column)) {
+      const double index_blocks = static_cast<double>(db_.IndexBlocks(*ix));
+      const double lookups = YaoBlocks(static_cast<double>(table.row_count) * psel,
+                                       data_blocks,
+                                       static_cast<double>(table.row_count));
+      const double cost = std::max(1.0, psel * index_blocks) +
+                          options_.random_io_penalty * lookups;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_path = Path::kNcSeek;
+        best_pred = p;
+        best_index = ix;
+        best_pred_sel = psel;
+      }
+    }
+  }
+
+  std::string filter_detail;
+  for (const Predicate* p : local_preds_[t]) {
+    if (!filter_detail.empty()) filter_detail += " AND ";
+    filter_detail += p->lhs.ToString();
+  }
+
+  switch (best_path) {
+    case Path::kScan: {
+      auto node = std::make_unique<PlanNode>(PlanOp::kTableScan);
+      node->object_id = bt.object_id;
+      node->object_name = table.name;
+      node->blocks_accessed = data_blocks;
+      node->out_rows = out_rows;
+      node->detail = filter_detail;
+      if (!table.clustered_key.empty()) {
+        for (const auto& k : table.clustered_key) {
+          node->sort_order.push_back(QualName(bt.bind_name, k));
+        }
+      }
+      return node;
+    }
+    case Path::kClusteredSeek: {
+      auto node = std::make_unique<PlanNode>(PlanOp::kClusteredSeek);
+      node->object_id = bt.object_id;
+      node->object_name = table.name;
+      node->blocks_accessed = std::max(1.0, best_pred_sel * data_blocks);
+      node->out_rows = out_rows;
+      node->detail = "seek " + best_pred->lhs.ToString();
+      for (const auto& k : table.clustered_key) {
+        node->sort_order.push_back(QualName(bt.bind_name, k));
+      }
+      return node;
+    }
+    case Path::kNcSeek: {
+      auto seek = std::make_unique<PlanNode>(PlanOp::kIndexSeek);
+      auto ix_id = db_.ObjectIdOfIndex(table.name, best_index->name);
+      DBLAYOUT_CHECK(ix_id.ok());
+      seek->object_id = ix_id.value();
+      seek->object_name = table.name + "." + best_index->name;
+      seek->blocks_accessed =
+          std::max(1.0, best_pred_sel * static_cast<double>(db_.IndexBlocks(*best_index)));
+      seek->out_rows =
+          std::max(1.0, static_cast<double>(table.row_count) * best_pred_sel);
+      seek->detail = "seek " + best_pred->lhs.ToString();
+
+      auto lookup = std::make_unique<PlanNode>(PlanOp::kRidLookup);
+      lookup->object_id = bt.object_id;
+      lookup->object_name = table.name;
+      lookup->blocks_accessed =
+          YaoBlocks(seek->out_rows, data_blocks, static_cast<double>(table.row_count));
+      lookup->random_access = true;
+      lookup->out_rows = out_rows;
+      lookup->detail = filter_detail;
+      for (const auto& k : best_index->key_columns) {
+        lookup->sort_order.push_back(QualName(bt.bind_name, k));
+      }
+      lookup->AddChild(std::move(seek));
+      return lookup;
+    }
+  }
+  return Status::Internal("unreachable access path");
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::MakeJoin(
+    JoinInput* left, JoinInput* right,
+    const std::vector<const Predicate*>& join_preds) {
+  // Estimate output cardinality. Multiple join predicates between the same
+  // pair of inputs are usually correlated (e.g. composite foreign keys), so
+  // independence would wildly underestimate; apply exponential backoff
+  // (s1 * s2^1/2 * s3^1/4 ...) over the predicate selectivities, most
+  // selective first.
+  std::vector<double> pred_sels;
+  std::string detail;
+  std::string left_key, right_key;   // qualified join columns (first equi pred)
+  size_t right_table_idx = *right->tables.begin();
+  for (const JoinPred& jp : join_preds_) {
+    bool connects_lr = left->tables.count(jp.lhs_table) > 0 &&
+                       right->tables.count(jp.rhs_table) > 0;
+    bool connects_rl = left->tables.count(jp.rhs_table) > 0 &&
+                       right->tables.count(jp.lhs_table) > 0;
+    if (!connects_lr && !connects_rl) continue;
+    bool in_request = std::find(join_preds.begin(), join_preds.end(), jp.pred) !=
+                      join_preds.end();
+    if (!in_request) continue;
+    if (jp.pred->op == CompareOp::kEq) {
+      pred_sels.push_back(
+          JoinSelectivity(jp.lhs_col->distinct_count, jp.rhs_col->distinct_count));
+      if (left_key.empty()) {
+        const auto& lref = connects_lr ? jp.pred->lhs : jp.pred->rhs_column;
+        const auto& rref = connects_lr ? jp.pred->rhs_column : jp.pred->lhs;
+        size_t lt = connects_lr ? jp.lhs_table : jp.rhs_table;
+        size_t rt = connects_lr ? jp.rhs_table : jp.lhs_table;
+        left_key = QualName(bound_[lt].bind_name, lref.column);
+        right_key = QualName(bound_[rt].bind_name, rref.column);
+        right_table_idx = rt;
+      }
+    } else {
+      pred_sels.push_back(kDefaultRangeSelectivity);
+    }
+    if (!detail.empty()) detail += " AND ";
+    detail += jp.pred->lhs.ToString() + CompareOpName(jp.pred->op) +
+              jp.pred->rhs_column.ToString();
+  }
+  std::sort(pred_sels.begin(), pred_sels.end());
+  double sel = 1.0;
+  double exponent = 1.0;
+  for (double s : pred_sels) {
+    sel *= std::pow(s, exponent);
+    exponent /= 2;
+  }
+  double out_rows = std::max(1.0, left->rows * right->rows * sel);
+  // Semi-join semantics: a table flattened out of an EXISTS / IN subquery
+  // can only filter the outer side, never multiply it.
+  if (sel_.from[right_table_idx].semi_join) {
+    out_rows = std::min(out_rows, std::max(1.0, left->rows));
+  }
+
+  // Build every feasible physical alternative, then keep the cheapest under
+  // ImplCost (cost-based implementation selection, like System R).
+  std::vector<std::unique_ptr<PlanNode>> candidates;
+
+  // Merge join: directly when both inputs already arrive ordered on the
+  // join keys; otherwise as a sort-merge join with explicit (blocking) Sort
+  // operators under the merge. The sort-based variant rarely beats hash
+  // join under default cost knobs — exactly as in real optimizers — but it
+  // is a genuine alternative the cost comparison may pick.
+  const bool left_sorted = !left_key.empty() && !left->plan->sort_order.empty() &&
+                           left->plan->sort_order[0] == left_key;
+  const bool right_sorted = !right_key.empty() && !right->plan->sort_order.empty() &&
+                            right->plan->sort_order[0] == right_key;
+  if (!left_key.empty()) {
+    auto sorted_input = [&](const PlanNode& input, bool already_sorted,
+                            const std::string& key) -> std::unique_ptr<PlanNode> {
+      auto clone = ClonePlan(input);
+      if (already_sorted) return clone;
+      auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+      sort->out_rows = clone->out_rows;
+      sort->detail = "sort on " + key;
+      sort->sort_order = {key};
+      sort->AddChild(std::move(clone));
+      return sort;
+    };
+    auto node = std::make_unique<PlanNode>(PlanOp::kMergeJoin);
+    node->out_rows = out_rows;
+    node->detail = detail;
+    node->AddChild(sorted_input(*left->plan, left_sorted, left_key));
+    node->AddChild(sorted_input(*right->plan, right_sorted, right_key));
+    node->sort_order = node->children[0]->sort_order;
+    candidates.push_back(std::move(node));
+  }
+
+  // Index nested loops when the inner (right) is a single base table with a
+  // usable index on the join column and the outer is small.
+  if (!right_key.empty() && right->tables.size() == 1 &&
+      left->rows <= options_.nlj_outer_rows_threshold) {
+    const BoundTable& bt = bound_[right_table_idx];
+    const Table& table = *bt.table;
+    const std::string col_name = right_key.substr(right_key.find('.') + 1);
+    const bool clustered_usable =
+        !table.clustered_key.empty() && table.clustered_key[0] == col_name;
+    const Index* nc = db_.IndexOnColumn(table.name, col_name);
+    if (clustered_usable || nc != nullptr) {
+      const double data_blocks = static_cast<double>(table.DataBlocks());
+      std::unique_ptr<PlanNode> inner;
+      if (clustered_usable) {
+        inner = std::make_unique<PlanNode>(PlanOp::kClusteredSeek);
+        inner->object_id = bt.object_id;
+        inner->object_name = table.name;
+        inner->blocks_accessed = YaoBlocks(
+            std::max(out_rows, left->rows), data_blocks,
+            static_cast<double>(table.row_count));
+        inner->random_access = true;
+        inner->detail = "seek " + right_key + " = outer";
+      } else {
+        auto seek = std::make_unique<PlanNode>(PlanOp::kIndexSeek);
+        auto ix_id = db_.ObjectIdOfIndex(table.name, nc->name);
+        DBLAYOUT_CHECK(ix_id.ok());
+        const double index_blocks = static_cast<double>(db_.IndexBlocks(*nc));
+        seek->object_id = ix_id.value();
+        seek->object_name = table.name + "." + nc->name;
+        seek->blocks_accessed =
+            YaoBlocks(left->rows, index_blocks, static_cast<double>(table.row_count));
+        seek->random_access = true;
+        seek->detail = "seek " + right_key + " = outer";
+        inner = std::make_unique<PlanNode>(PlanOp::kRidLookup);
+        inner->object_id = bt.object_id;
+        inner->object_name = table.name;
+        inner->blocks_accessed = YaoBlocks(out_rows, data_blocks,
+                                           static_cast<double>(table.row_count));
+        inner->random_access = true;
+        inner->AddChild(std::move(seek));
+      }
+      inner->out_rows = out_rows;
+      auto node = std::make_unique<PlanNode>(PlanOp::kNestedLoopsJoin);
+      node->out_rows = out_rows;
+      node->detail = detail;
+      node->sort_order = left->plan->sort_order;
+      node->AddChild(ClonePlan(*left->plan));
+      node->AddChild(std::move(inner));
+      candidates.push_back(std::move(node));
+    }
+  }
+
+  // Hash join: build on the smaller input (first child = build).
+  {
+    auto node = std::make_unique<PlanNode>(PlanOp::kHashJoin);
+    node->out_rows = out_rows;
+    node->detail = detail;
+    if (left->rows <= right->rows) {
+      node->AddChild(ClonePlan(*left->plan));
+      node->AddChild(ClonePlan(*right->plan));
+    } else {
+      node->AddChild(ClonePlan(*right->plan));
+      node->AddChild(ClonePlan(*left->plan));
+    }
+    candidates.push_back(std::move(node));
+  }
+
+  size_t best = 0;
+  double best_cost = ImplCost(*candidates[0]);
+  for (size_t c = 1; c < candidates.size(); ++c) {
+    const double cost = ImplCost(*candidates[c]);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = c;
+    }
+  }
+  return std::move(candidates[best]);
+}
+
+namespace {
+/// Collects the leaf objects (and their block counts) of a subtree.
+void LeafObjects(const PlanNode& node, std::map<int, double>* blocks) {
+  if (node.object_id >= 0 && node.blocks_accessed > 0) {
+    (*blocks)[node.object_id] += node.blocks_accessed;
+  }
+  for (const auto& child : node.children) LeafObjects(*child, blocks);
+}
+}  // namespace
+
+double SelectPlanner::ImplCost(const PlanNode& node) const {
+  double c = node.blocks_accessed *
+             (node.random_access ? options_.random_io_penalty : 1.0);
+  switch (node.op) {
+    case PlanOp::kSort:
+      if (!node.children.empty()) {
+        c += options_.sort_cost_per_row * node.children[0]->out_rows;
+      }
+      break;
+    case PlanOp::kMergeJoin:
+      // Pipelined joins whose two inputs scan the *same* object interleave
+      // two cursors over one table and thrash the disk head; surcharge the
+      // overlapping volume so the planner prefers alternatives that cut the
+      // pipeline (e.g. hash semi-joins), as production optimizers do.
+      if (node.children.size() == 2) {
+        std::map<int, double> left_leaves, right_leaves;
+        LeafObjects(*node.children[0], &left_leaves);
+        LeafObjects(*node.children[1], &right_leaves);
+        for (const auto& [obj, blocks] : left_leaves) {
+          auto it = right_leaves.find(obj);
+          if (it != right_leaves.end()) {
+            c += blocks + it->second;
+          }
+        }
+      }
+      break;
+    case PlanOp::kHashJoin:
+      if (node.children.size() == 2) {
+        c += options_.hash_build_cost_per_row * node.children[0]->out_rows +
+             options_.hash_probe_cost_per_row * node.children[1]->out_rows;
+      }
+      break;
+    case PlanOp::kHashAggregate:
+      if (!node.children.empty()) {
+        c += options_.hash_build_cost_per_row * node.children[0]->out_rows;
+      }
+      break;
+    case PlanOp::kNestedLoopsJoin:
+      if (!node.children.empty()) {
+        c += options_.nlj_cost_per_outer_row * node.children[0]->out_rows;
+      }
+      break;
+    default:
+      break;
+  }
+  for (const auto& child : node.children) c += ImplCost(*child);
+  return c;
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::BuildJoinTree() {
+  std::vector<JoinInput> inputs;
+  for (size_t t = 0; t < bound_.size(); ++t) {
+    JoinInput in;
+    DBLAYOUT_ASSIGN_OR_RETURN(in.plan, BuildAccessPath(t));
+    in.rows = in.plan->out_rows;
+    in.tables = {t};
+    inputs.push_back(std::move(in));
+  }
+  if (inputs.size() == 1) return std::move(inputs[0].plan);
+  if (static_cast<int>(inputs.size()) <= options_.dp_join_table_limit) {
+    return BuildJoinTreeDp(std::move(inputs));
+  }
+  return BuildJoinTreeGreedy(std::move(inputs));
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::BuildJoinTreeDp(
+    std::vector<JoinInput> inputs) {
+  // System-R-style left-deep dynamic programming over table subsets, scored
+  // by ImplCost. Cross joins are admitted only when a subset has no
+  // connected extension.
+  const size_t n = inputs.size();
+  struct State {
+    std::unique_ptr<PlanNode> plan;
+    double rows = 0;
+    double cost = 0;
+    bool valid = false;
+  };
+  std::vector<State> best(size_t{1} << n);
+  for (size_t t = 0; t < n; ++t) {
+    State& s = best[size_t{1} << t];
+    s.plan = ClonePlan(*inputs[t].plan);
+    s.rows = inputs[t].rows;
+    s.cost = ImplCost(*s.plan);
+    s.valid = true;
+  }
+
+  // Predicates connecting table t to any table in `mask`.
+  auto preds_between = [&](size_t mask, size_t t) {
+    std::vector<const Predicate*> preds;
+    for (const JoinPred& jp : join_preds_) {
+      const bool lhs_in = (mask >> jp.lhs_table) & 1;
+      const bool rhs_in = (mask >> jp.rhs_table) & 1;
+      if ((lhs_in && jp.rhs_table == t) || (rhs_in && jp.lhs_table == t)) {
+        preds.push_back(jp.pred);
+      }
+    }
+    return preds;
+  };
+
+  for (size_t mask = 1; mask < best.size(); ++mask) {
+    if (__builtin_popcountll(mask) < 2) continue;
+    // First pass: connected extensions only; second pass admits cross joins
+    // if the subset would otherwise be unreachable.
+    for (const bool allow_cross : {false, true}) {
+      if (allow_cross && best[mask].valid) break;
+      for (size_t t = 0; t < n; ++t) {
+        if (!((mask >> t) & 1)) continue;
+        const size_t rest = mask & ~(size_t{1} << t);
+        if (!best[rest].valid) continue;
+        std::vector<const Predicate*> preds = preds_between(rest, t);
+        if (preds.empty() && !allow_cross) continue;
+
+        JoinInput left;
+        left.plan = ClonePlan(*best[rest].plan);
+        left.rows = best[rest].rows;
+        for (size_t u = 0; u < n; ++u) {
+          if ((rest >> u) & 1) left.tables.insert(u);
+        }
+        JoinInput right;
+        right.plan = ClonePlan(*inputs[t].plan);
+        right.rows = inputs[t].rows;
+        right.tables = {t};
+
+        DBLAYOUT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> joined,
+                                  MakeJoin(&left, &right, preds));
+        const double cost = ImplCost(*joined);
+        State& s = best[mask];
+        if (!s.valid || cost < s.cost) {
+          s.rows = joined->out_rows;
+          s.plan = std::move(joined);
+          s.cost = cost;
+          s.valid = true;
+        }
+      }
+    }
+    if (!best[mask].valid && mask + 1 == best.size()) {
+      return Status::Internal("join enumeration failed to cover all tables");
+    }
+  }
+  return std::move(best.back().plan);
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::BuildJoinTreeGreedy(
+    std::vector<JoinInput> inputs) {
+  // Greedy left-deep enumeration: start from the smallest input; repeatedly
+  // add the connected table minimizing the estimated result size. Tables
+  // with no join edge are cross-joined last.
+  size_t start = 0;
+  for (size_t i = 1; i < inputs.size(); ++i) {
+    if (inputs[i].rows < inputs[start].rows) start = i;
+  }
+  JoinInput current = std::move(inputs[start]);
+  std::vector<bool> used(inputs.size(), false);
+  used[start] = true;
+
+  for (size_t step = 1; step < inputs.size(); ++step) {
+    // Find the best next input.
+    double best_rows = std::numeric_limits<double>::infinity();
+    size_t best_i = inputs.size();
+    bool best_connected = false;
+    std::vector<const Predicate*> best_preds;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<const Predicate*> preds;
+      double sel = 1.0;
+      for (const JoinPred& jp : join_preds_) {
+        const bool connects =
+            (current.tables.count(jp.lhs_table) > 0 && inputs[i].tables.count(jp.rhs_table) > 0) ||
+            (current.tables.count(jp.rhs_table) > 0 && inputs[i].tables.count(jp.lhs_table) > 0);
+        if (!connects) continue;
+        preds.push_back(jp.pred);
+        sel *= jp.pred->op == CompareOp::kEq
+                   ? JoinSelectivity(jp.lhs_col->distinct_count, jp.rhs_col->distinct_count)
+                   : kDefaultRangeSelectivity;
+      }
+      const bool connected = !preds.empty();
+      const double est = current.rows * inputs[i].rows * sel;
+      // Prefer connected joins over cross products regardless of size.
+      if ((connected && !best_connected) ||
+          (connected == best_connected && est < best_rows)) {
+        best_rows = est;
+        best_i = i;
+        best_connected = connected;
+        best_preds = std::move(preds);
+      }
+    }
+    DBLAYOUT_CHECK(best_i < inputs.size());
+    DBLAYOUT_ASSIGN_OR_RETURN(
+        std::unique_ptr<PlanNode> joined,
+        MakeJoin(&current, &inputs[best_i], best_preds));
+    current.rows = joined->out_rows;
+    current.plan = std::move(joined);
+    for (size_t t : inputs[best_i].tables) current.tables.insert(t);
+    used[best_i] = true;
+  }
+  return std::move(current.plan);
+}
+
+std::unique_ptr<PlanNode> SelectPlanner::AddAggregation(
+    std::unique_ptr<PlanNode> input) {
+  const bool has_agg = std::any_of(sel_.items.begin(), sel_.items.end(),
+                                   [](const SelectItem& i) { return i.agg != AggFunc::kNone; });
+  if (sel_.group_by.empty()) {
+    if (!has_agg) return input;
+    auto node = std::make_unique<PlanNode>(PlanOp::kStreamAggregate);
+    node->out_rows = 1;
+    node->detail = "scalar aggregate";
+    node->AddChild(std::move(input));
+    return node;
+  }
+  // Estimate group count as the product of group-column distinct counts,
+  // capped by input rows.
+  double groups = 1;
+  for (const auto& g : sel_.group_by) {
+    auto r = Resolve(g);
+    groups *= r.ok() ? static_cast<double>(std::max<int64_t>(1, r.value().second->distinct_count))
+                     : 100.0;
+  }
+  groups = std::max(1.0, std::min(groups, input->out_rows));
+
+  // Stream aggregate if the input already arrives ordered on the first
+  // group column; otherwise hash aggregate (blocking).
+  bool ordered = false;
+  if (!input->sort_order.empty()) {
+    auto r = Resolve(sel_.group_by[0]);
+    if (r.ok()) {
+      const std::string qual =
+          QualName(bound_[r.value().first].bind_name, sel_.group_by[0].column);
+      ordered = input->sort_order[0] == qual;
+    }
+  }
+  auto node = std::make_unique<PlanNode>(
+      ordered ? PlanOp::kStreamAggregate : PlanOp::kHashAggregate);
+  node->out_rows = groups;
+  node->detail = StrFormat("group by %zu cols", sel_.group_by.size());
+  if (ordered) node->sort_order = input->sort_order;
+  node->AddChild(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> SelectPlanner::AddOrderByAndTop(
+    std::unique_ptr<PlanNode> input) {
+  if (!sel_.order_by.empty()) {
+    // Skip the sort when the input is already ordered on the first key.
+    bool ordered = false;
+    if (!input->sort_order.empty()) {
+      auto r = Resolve(sel_.order_by[0].column);
+      if (r.ok()) {
+        ordered = input->sort_order[0] ==
+                  QualName(bound_[r.value().first].bind_name,
+                           sel_.order_by[0].column.column);
+      }
+    }
+    if (!ordered) {
+      auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+      sort->out_rows = input->out_rows;
+      sort->detail = StrFormat("order by %zu cols", sel_.order_by.size());
+      sort->AddChild(std::move(input));
+      input = std::move(sort);
+    }
+  }
+  if (sel_.top >= 0) {
+    auto top = std::make_unique<PlanNode>(PlanOp::kTop);
+    top->out_rows = std::min(static_cast<double>(sel_.top), input->out_rows);
+    top->detail = StrFormat("top %lld", static_cast<long long>(sel_.top));
+    top->AddChild(std::move(input));
+    input = std::move(top);
+  }
+  return input;
+}
+
+Result<std::unique_ptr<PlanNode>> SelectPlanner::Run() {
+  DBLAYOUT_RETURN_NOT_OK(Bind());
+  DBLAYOUT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan, BuildJoinTree());
+  plan = AddAggregation(std::move(plan));
+  plan = AddOrderByAndTop(std::move(plan));
+  return plan;
+}
+
+/// Plans UPDATE/DELETE: an access path evaluating the WHERE clause feeds a
+/// write operator over the base object (plus maintained indexes).
+Result<std::unique_ptr<PlanNode>> PlanModify(const Database& db,
+                                             const OptimizerOptions& options,
+                                             const std::string& table_name,
+                                             const std::vector<Predicate>& where,
+                                             PlanOp write_op,
+                                             const std::vector<std::string>& set_columns) {
+  const Table* table = db.FindTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound(StrFormat("unknown table '%s'", table_name.c_str()));
+  }
+  // Reuse the SELECT machinery for the read side: SELECT * FROM t WHERE ...
+  SelectStatement read;
+  SelectItem star;
+  star.star = true;
+  read.items.push_back(star);
+  read.from.push_back(TableRef{table_name, ""});
+  read.where = where;
+  SelectPlanner planner(db, options, read);
+  DBLAYOUT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> read_plan, planner.Run());
+  const double affected = read_plan->out_rows;
+
+  auto id = db.ObjectIdOfTable(table_name);
+  DBLAYOUT_CHECK(id.ok());
+  auto node = std::make_unique<PlanNode>(write_op);
+  node->object_id = id.value();
+  node->object_name = table_name;
+  node->is_write = true;
+  node->out_rows = affected;
+  const double data_blocks = static_cast<double>(table->DataBlocks());
+  // In-place DML is a read-modify-write pass: each qualifying block is read
+  // and written back without an intervening seek, so fold the read side's
+  // base-table I/O into one RMW access. The access pattern follows the read
+  // path: sequential for a scan or clustered range, scattered for
+  // RID lookups (whose index-seek child keeps its own read).
+  if ((read_plan->op == PlanOp::kClusteredSeek ||
+       read_plan->op == PlanOp::kTableScan ||
+       read_plan->op == PlanOp::kRidLookup) &&
+      read_plan->object_id == id.value()) {
+    node->read_modify_write = true;
+    node->blocks_accessed = read_plan->blocks_accessed;
+    node->random_access = read_plan->op == PlanOp::kRidLookup;
+    read_plan->blocks_accessed = 0;
+    read_plan->detail += read_plan->detail.empty() ? "folded into RMW"
+                                                   : "; folded into RMW";
+  } else {
+    node->blocks_accessed = YaoBlocks(affected, data_blocks,
+                                      static_cast<double>(table->row_count));
+    node->random_access = affected < static_cast<double>(table->row_count);
+  }
+  node->AddChild(std::move(read_plan));
+
+  // Maintained non-clustered indexes are co-written in the same pipeline.
+  for (const Index* ix : db.IndexesOf(table_name)) {
+    const bool maintained =
+        write_op == PlanOp::kDelete ||
+        std::any_of(ix->key_columns.begin(), ix->key_columns.end(),
+                    [&](const std::string& k) {
+                      return std::find(set_columns.begin(), set_columns.end(), k) !=
+                             set_columns.end();
+                    });
+    if (!maintained) continue;
+    auto ix_id = db.ObjectIdOfIndex(table_name, ix->name);
+    DBLAYOUT_CHECK(ix_id.ok());
+    auto w = std::make_unique<PlanNode>(write_op);
+    w->object_id = ix_id.value();
+    w->object_name = table_name + "." + ix->name;
+    w->is_write = true;
+    w->random_access = true;
+    w->out_rows = affected;
+    w->blocks_accessed = YaoBlocks(affected, static_cast<double>(db.IndexBlocks(*ix)),
+                                   static_cast<double>(table->row_count));
+    w->detail = "index maintenance";
+    node->AddChild(std::move(w));
+  }
+  return node;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PlanNode>> Optimizer::Plan(const SqlStatement& stmt) const {
+  switch (stmt.kind) {
+    case SqlStatement::Kind::kSelect: {
+      SelectPlanner planner(db_, options_, stmt.select);
+      return planner.Run();
+    }
+    case SqlStatement::Kind::kInsert: {
+      const Table* table = db_.FindTable(stmt.insert.table);
+      if (table == nullptr) {
+        return Status::NotFound(
+            StrFormat("unknown table '%s'", stmt.insert.table.c_str()));
+      }
+      auto id = db_.ObjectIdOfTable(stmt.insert.table);
+      DBLAYOUT_CHECK(id.ok());
+      auto node = std::make_unique<PlanNode>(PlanOp::kInsert);
+      node->object_id = id.value();
+      node->object_name = stmt.insert.table;
+      node->is_write = true;
+      node->out_rows = static_cast<double>(stmt.insert.num_rows);
+      node->blocks_accessed = std::max(
+          1.0, static_cast<double>(stmt.insert.num_rows) / table->RowsPerBlock());
+      node->random_access = !table->clustered_key.empty();
+      for (const Index* ix : db_.IndexesOf(stmt.insert.table)) {
+        auto ix_id = db_.ObjectIdOfIndex(stmt.insert.table, ix->name);
+        DBLAYOUT_CHECK(ix_id.ok());
+        auto w = std::make_unique<PlanNode>(PlanOp::kInsert);
+        w->object_id = ix_id.value();
+        w->object_name = stmt.insert.table + "." + ix->name;
+        w->is_write = true;
+        w->random_access = true;
+        w->out_rows = static_cast<double>(stmt.insert.num_rows);
+        w->blocks_accessed = std::max(
+            1.0, std::min(static_cast<double>(stmt.insert.num_rows),
+                          static_cast<double>(db_.IndexBlocks(*ix))));
+        w->detail = "index maintenance";
+        node->AddChild(std::move(w));
+      }
+      return node;
+    }
+    case SqlStatement::Kind::kUpdate:
+      return PlanModify(db_, options_, stmt.update.table, stmt.update.where,
+                        PlanOp::kUpdate, stmt.update.set_columns);
+    case SqlStatement::Kind::kDelete:
+      return PlanModify(db_, options_, stmt.del.table, stmt.del.where,
+                        PlanOp::kDelete, {});
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+}  // namespace dblayout

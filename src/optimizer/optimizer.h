@@ -1,0 +1,67 @@
+// Cost-based query optimizer: binds a parsed DML statement against the
+// catalog and produces a physical execution plan annotated with per-object
+// block-access estimates. Plays the role of SQL Server's optimizer +
+// Showplan ("no-execute") interface in the paper's architecture: the layout
+// advisor consumes plans, never runs queries.
+//
+// Design notes:
+//  - Access paths: heap/clustered scan, clustered-index seek, non-clustered
+//    index seek + RID lookup, chosen by estimated block cost.
+//  - Join order: greedy smallest-intermediate-result, left-deep.
+//  - Join algorithms: merge join when both inputs arrive sorted on the join
+//    key (the common TPC-H case with clustered PKs), index nested loops when
+//    the inner has a usable index and the outer is small, hash join
+//    otherwise (build = smaller input).
+//  - Blocking operators (Sort, Hash Aggregate, hash-join build boundaries)
+//    are what the workload analyzer cuts at.
+
+#ifndef DBLAYOUT_OPTIMIZER_OPTIMIZER_H_
+#define DBLAYOUT_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "optimizer/plan.h"
+#include "sql/ast.h"
+
+namespace dblayout {
+
+struct OptimizerOptions {
+  /// Maximum estimated outer rows for which index nested-loops join is
+  /// considered over hash join.
+  double nlj_outer_rows_threshold = 2000;
+  /// Cost multiplier for a random block access relative to a sequential one
+  /// when choosing access paths.
+  double random_io_penalty = 4.0;
+  /// Join orders are enumerated with left-deep dynamic programming for up to
+  /// this many tables; larger FROM lists fall back to a greedy order.
+  int dp_join_table_limit = 12;
+  /// Physical cost knobs, in sequential-block-equivalents per row, used to
+  /// compare join implementations (hash joins pay build/probe work; merge
+  /// joins of pre-sorted inputs are nearly free; sorts are expensive).
+  double hash_build_cost_per_row = 0.012;
+  double hash_probe_cost_per_row = 0.004;
+  double sort_cost_per_row = 0.05;
+  double nlj_cost_per_outer_row = 0.01;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(const Database& db, OptimizerOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Produces the physical plan for `stmt`. Binding errors (unknown table or
+  /// column) are reported as InvalidArgument.
+  Result<std::unique_ptr<PlanNode>> Plan(const SqlStatement& stmt) const;
+
+  const Database& database() const { return db_; }
+
+ private:
+  const Database& db_;
+  OptimizerOptions options_;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_OPTIMIZER_OPTIMIZER_H_

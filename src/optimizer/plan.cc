@@ -1,0 +1,128 @@
+#include "optimizer/plan.h"
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kTableScan:
+      return "Table Scan";
+    case PlanOp::kClusteredSeek:
+      return "Clustered Index Seek";
+    case PlanOp::kIndexSeek:
+      return "Index Seek";
+    case PlanOp::kRidLookup:
+      return "RID Lookup";
+    case PlanOp::kFilter:
+      return "Filter";
+    case PlanOp::kNestedLoopsJoin:
+      return "Nested Loops Join";
+    case PlanOp::kMergeJoin:
+      return "Merge Join";
+    case PlanOp::kHashJoin:
+      return "Hash Join";
+    case PlanOp::kSort:
+      return "Sort";
+    case PlanOp::kHashAggregate:
+      return "Hash Aggregate";
+    case PlanOp::kStreamAggregate:
+      return "Stream Aggregate";
+    case PlanOp::kTop:
+      return "Top";
+    case PlanOp::kInsert:
+      return "Insert";
+    case PlanOp::kUpdate:
+      return "Update";
+    case PlanOp::kDelete:
+      return "Delete";
+  }
+  return "?";
+}
+
+bool IsBlockingOp(PlanOp op) {
+  return op == PlanOp::kSort || op == PlanOp::kHashAggregate;
+}
+
+namespace {
+
+/// Assigns every node a pipeline group; leaves in the same group are
+/// co-accessed. Blocking operators give their input a fresh group; a hash
+/// join gives its *build* (first) child a fresh group while the probe child
+/// stays in the consumer's pipeline.
+void AssignGroups(const PlanNode& node, int group, int* next_group,
+                  std::vector<SubplanAccess>* groups) {
+  if (node.object_id >= 0 && node.blocks_accessed > 0) {
+    while (static_cast<int>(groups->size()) <= group) groups->emplace_back();
+    (*groups)[static_cast<size_t>(group)].accesses.push_back(
+        ObjectAccess{node.object_id, node.blocks_accessed, node.is_write,
+                     node.random_access, node.read_modify_write});
+  }
+  if (node.op == PlanOp::kHashJoin && node.children.size() == 2) {
+    AssignGroups(*node.children[0], (*next_group)++, next_group, groups);
+    AssignGroups(*node.children[1], group, next_group, groups);
+    return;
+  }
+  for (const auto& child : node.children) {
+    if (IsBlockingOp(node.op)) {
+      AssignGroups(*child, (*next_group)++, next_group, groups);
+    } else {
+      AssignGroups(*child, group, next_group, groups);
+    }
+  }
+}
+
+void ExplainRec(const PlanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += PlanOpName(node.op);
+  if (!node.object_name.empty()) {
+    *out += StrFormat(" [%s]", node.object_name.c_str());
+  }
+  if (!node.detail.empty()) {
+    *out += StrFormat(" (%s)", node.detail.c_str());
+  }
+  *out += StrFormat("  rows=%.0f", node.out_rows);
+  if (node.blocks_accessed > 0) {
+    *out += StrFormat(" blocks=%.0f%s%s", node.blocks_accessed,
+                      node.is_write ? " write" : "",
+                      node.random_access ? " random" : "");
+  }
+  *out += '\n';
+  for (const auto& child : node.children) ExplainRec(*child, depth + 1, out);
+}
+
+}  // namespace
+
+std::unique_ptr<PlanNode> ClonePlan(const PlanNode& node) {
+  auto copy = std::make_unique<PlanNode>(node.op);
+  copy->object_id = node.object_id;
+  copy->object_name = node.object_name;
+  copy->blocks_accessed = node.blocks_accessed;
+  copy->is_write = node.is_write;
+  copy->random_access = node.random_access;
+  copy->read_modify_write = node.read_modify_write;
+  copy->out_rows = node.out_rows;
+  copy->detail = node.detail;
+  copy->sort_order = node.sort_order;
+  for (const auto& child : node.children) copy->AddChild(ClonePlan(*child));
+  return copy;
+}
+
+std::vector<SubplanAccess> DecomposeIntoSubplans(const PlanNode& root) {
+  std::vector<SubplanAccess> groups;
+  int next_group = 1;
+  AssignGroups(root, 0, &next_group, &groups);
+  std::vector<SubplanAccess> out;
+  for (auto& g : groups) {
+    if (!g.accesses.empty()) out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::string ExplainPlan(const PlanNode& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+}  // namespace dblayout

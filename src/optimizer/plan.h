@@ -1,0 +1,105 @@
+// Physical execution plans and their decomposition into *non-blocking
+// sub-plans* (Section 4.2). The layout advisor never executes a plan; it
+// only needs, per sub-plan, which objects are accessed and how many blocks
+// of each — the same information the paper extracts from SQL Server
+// Showplan output.
+
+#ifndef DBLAYOUT_OPTIMIZER_PLAN_H_
+#define DBLAYOUT_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dblayout {
+
+enum class PlanOp {
+  kTableScan,        ///< full scan of a heap or clustered index
+  kClusteredSeek,    ///< range/point seek into a clustered index
+  kIndexSeek,        ///< seek into a non-clustered index (leaf range)
+  kRidLookup,        ///< random base-table lookups driven by an index seek
+  kFilter,           ///< residual predicate (no I/O)
+  kNestedLoopsJoin,  ///< pipelined; both inputs co-accessed
+  kMergeJoin,        ///< pipelined; both inputs co-accessed
+  kHashJoin,         ///< build input is consumed fully before probing
+  kSort,             ///< blocking
+  kHashAggregate,    ///< blocking
+  kStreamAggregate,  ///< pipelined scalar/ordered aggregation
+  kTop,              ///< row-count limiter (no I/O)
+  kInsert,           ///< write to target object
+  kUpdate,           ///< write to target object
+  kDelete,           ///< write to target object
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// True for operators that fully consume their input before producing any
+/// output (Sort, Hash Aggregate). Hash Join is handled specially: only its
+/// *build* input is blocked off.
+bool IsBlockingOp(PlanOp op);
+
+/// A node of a physical plan tree.
+struct PlanNode {
+  PlanOp op = PlanOp::kTableScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- I/O performed *at this node* (leaf scans/seeks and DML writes). ---
+  int object_id = -1;          ///< layout object accessed, -1 if none
+  std::string object_name;
+  double blocks_accessed = 0;  ///< B(|R_i|, P): blocks of the object touched
+  bool is_write = false;       ///< write access (DML target / index maintenance)
+  bool random_access = false;  ///< scattered (RID-lookup-style) access
+  bool read_modify_write = false;  ///< one pass that reads and writes back
+                                   ///< each block (in-place UPDATE/DELETE)
+
+  // --- Estimates and annotations. ---
+  double out_rows = 0;         ///< estimated rows produced
+  std::string detail;          ///< predicate / key text for EXPLAIN output
+  std::vector<std::string> sort_order;  ///< output order, "bind.column" names
+
+  PlanNode() = default;
+  explicit PlanNode(PlanOp o) : op(o) {}
+
+  PlanNode* AddChild(std::unique_ptr<PlanNode> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+};
+
+/// Deep copy of a plan subtree.
+std::unique_ptr<PlanNode> ClonePlan(const PlanNode& node);
+
+/// One object access inside a non-blocking sub-plan.
+struct ObjectAccess {
+  int object_id = -1;
+  double blocks = 0;
+  bool is_write = false;
+  bool random = false;
+  bool read_modify_write = false;  ///< single pass reading + writing back
+};
+
+/// The accesses of one non-blocking (fully pipelined) sub-plan: all listed
+/// objects are *co-accessed*. An object accessed twice in the same pipeline
+/// (e.g. a self-join) appears as two entries.
+struct SubplanAccess {
+  std::vector<ObjectAccess> accesses;
+
+  /// Total blocks over all accesses.
+  double TotalBlocks() const {
+    double total = 0;
+    for (const auto& a : accesses) total += a.blocks;
+    return total;
+  }
+};
+
+/// Cuts `root` at blocking operators and returns the non-blocking sub-plans
+/// with their object accesses (Fig. 6 preprocessing). Sub-plans with no
+/// object accesses are dropped.
+std::vector<SubplanAccess> DecomposeIntoSubplans(const PlanNode& root);
+
+/// Showplan-style indented rendering of the plan tree.
+std::string ExplainPlan(const PlanNode& root);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_OPTIMIZER_PLAN_H_

@@ -1,0 +1,120 @@
+#include "optimizer/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dblayout {
+
+namespace {
+
+bool IsNumericLiteral(const Literal& lit) {
+  return lit.kind == Literal::Kind::kNumber || lit.kind == Literal::Kind::kDate;
+}
+
+double RangeFraction(const Column& col, double lo, double hi) {
+  const double span = col.max_value - col.min_value;
+  if (span <= 0) return kDefaultRangeSelectivity;
+  const double clamped_lo = std::max(lo, col.min_value);
+  const double clamped_hi = std::min(hi, col.max_value);
+  if (clamped_hi <= clamped_lo) return kMinSelectivity;
+  if (!col.histogram.empty()) {
+    return col.histogram.FractionBetween(col.min_value, col.max_value, clamped_lo,
+                                         clamped_hi);
+  }
+  return (clamped_hi - clamped_lo) / span;
+}
+
+/// Selectivity of `column = v`: with a histogram, the matching bucket's mass
+/// divided by the distinct values per bucket; otherwise 1/distinct.
+double EqualitySelectivity(const Column& col, const Literal& lit) {
+  const double uniform =
+      1.0 / static_cast<double>(std::max<int64_t>(1, col.distinct_count));
+  if (col.histogram.empty() || lit.kind == Literal::Kind::kString) return uniform;
+  const double mass =
+      col.histogram.BucketFraction(col.min_value, col.max_value, lit.number);
+  if (mass <= 0) return kMinSelectivity;
+  const double distinct_per_bucket =
+      static_cast<double>(std::max<int64_t>(1, col.distinct_count)) /
+      static_cast<double>(col.histogram.buckets());
+  return std::min(mass, mass / std::max(1.0, distinct_per_bucket));
+}
+
+double Clamp01(double s) { return std::clamp(s, kMinSelectivity, 1.0); }
+
+}  // namespace
+
+double PredicateSelectivity(const Predicate& pred, const Column* column) {
+  switch (pred.kind) {
+    case Predicate::Kind::kCompareLiteral: {
+      if (column == nullptr) {
+        return pred.op == CompareOp::kEq ? kDefaultEqSelectivity
+                                         : kDefaultRangeSelectivity;
+      }
+      const Literal& lit = pred.rhs_literal;
+      switch (pred.op) {
+        case CompareOp::kEq:
+          return Clamp01(EqualitySelectivity(*column, lit));
+        case CompareOp::kNe:
+          return Clamp01(1.0 - EqualitySelectivity(*column, lit));
+        case CompareOp::kLt:
+        case CompareOp::kLe:
+          if (IsNumericLiteral(lit)) {
+            return Clamp01(RangeFraction(*column, column->min_value, lit.number));
+          }
+          return kDefaultRangeSelectivity;
+        case CompareOp::kGt:
+        case CompareOp::kGe:
+          if (IsNumericLiteral(lit)) {
+            return Clamp01(RangeFraction(*column, lit.number, column->max_value));
+          }
+          return kDefaultRangeSelectivity;
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case Predicate::Kind::kJoin:
+      // Join predicates are handled by JoinSelectivity at the join, not as
+      // a local filter.
+      return 1.0;
+    case Predicate::Kind::kBetween: {
+      if (column != nullptr && IsNumericLiteral(pred.between_lo) &&
+          IsNumericLiteral(pred.between_hi)) {
+        return Clamp01(
+            RangeFraction(*column, pred.between_lo.number, pred.between_hi.number));
+      }
+      return kDefaultRangeSelectivity;
+    }
+    case Predicate::Kind::kIn: {
+      if (column != nullptr) {
+        return Clamp01(static_cast<double>(pred.in_list.size()) /
+                       static_cast<double>(std::max<int64_t>(1, column->distinct_count)));
+      }
+      return Clamp01(static_cast<double>(pred.in_list.size()) * kDefaultEqSelectivity);
+    }
+    case Predicate::Kind::kLike:
+      return (!pred.like_pattern.empty() && pred.like_pattern[0] != '%')
+                 ? kLikePrefixSelectivity
+                 : kLikeContainsSelectivity;
+    case Predicate::Kind::kExists:
+    case Predicate::Kind::kInSubquery:
+      // Subqueries are flattened into joins before reaching estimation
+      // (see FlattenSubqueries); as a bare filter assume the default.
+      return kDefaultRangeSelectivity;
+  }
+  return kDefaultRangeSelectivity;
+}
+
+double JoinSelectivity(int64_t lhs_distinct, int64_t rhs_distinct) {
+  const int64_t d = std::max<int64_t>({1, lhs_distinct, rhs_distinct});
+  return 1.0 / static_cast<double>(d);
+}
+
+double YaoBlocks(double rows, double blocks, double total_rows) {
+  if (rows <= 0 || blocks <= 0) return 0;
+  if (total_rows > 0) rows = std::min(rows, total_rows);
+  if (blocks <= 1) return 1;
+  const double miss = 1.0 - 1.0 / blocks;
+  const double hit = blocks * (1.0 - std::pow(miss, rows));
+  return std::max(1.0, std::min({hit, rows, blocks}));
+}
+
+}  // namespace dblayout

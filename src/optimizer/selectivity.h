@@ -1,0 +1,38 @@
+// Cardinality estimation: predicate selectivities from single-column
+// statistics, join selectivities, and the Yao formula for the number of
+// distinct blocks touched by scattered row lookups.
+
+#ifndef DBLAYOUT_OPTIMIZER_SELECTIVITY_H_
+#define DBLAYOUT_OPTIMIZER_SELECTIVITY_H_
+
+#include <cstdint>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+
+namespace dblayout {
+
+/// Default selectivities when statistics cannot decide.
+inline constexpr double kDefaultEqSelectivity = 0.01;
+inline constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+inline constexpr double kLikePrefixSelectivity = 0.05;
+inline constexpr double kLikeContainsSelectivity = 0.10;
+inline constexpr double kMinSelectivity = 1e-7;
+
+/// Selectivity of a single-table predicate against `column`'s statistics.
+/// `column` may be null (unknown column), in which case defaults apply.
+double PredicateSelectivity(const Predicate& pred, const Column* column);
+
+/// Selectivity of an equi-join between columns with the given distinct
+/// counts: 1 / max(d1, d2) (System-R rule).
+double JoinSelectivity(int64_t lhs_distinct, int64_t rhs_distinct);
+
+/// Yao's formula: expected number of distinct blocks touched when `rows`
+/// randomly chosen rows are fetched from an object of `blocks` blocks
+/// holding `total_rows` rows. Approximated as blocks * (1 - (1 - 1/blocks)^rows),
+/// capped by both `rows` and `blocks`.
+double YaoBlocks(double rows, double blocks, double total_rows);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_OPTIMIZER_SELECTIVITY_H_

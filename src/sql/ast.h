@@ -1,0 +1,133 @@
+// Abstract syntax tree for the SQL DML subset understood by the workload
+// analyzer: SELECT (joins, conjunctive predicates, aggregates, GROUP BY,
+// ORDER BY, TOP), INSERT, UPDATE and DELETE. The subset is rich enough to
+// express TPC-H-style decision-support queries.
+
+#ifndef DBLAYOUT_SQL_AST_H_
+#define DBLAYOUT_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dblayout {
+
+/// A literal value: number, quoted string, or DATE 'yyyy-mm-dd' (stored as
+/// days since 1970-01-01 in `number`).
+struct Literal {
+  enum class Kind { kNumber, kString, kDate };
+  Kind kind = Kind::kNumber;
+  double number = 0;
+  std::string text;
+};
+
+/// Reference to a column, optionally qualified by a table name or alias.
+struct ColumnRef {
+  std::string qualifier;  ///< table name or alias; may be empty
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+struct SelectStatement;
+
+/// One conjunct of a WHERE clause.
+struct Predicate {
+  enum class Kind {
+    kCompareLiteral,  ///< col op literal
+    kJoin,            ///< col op col (equi- or theta-join)
+    kBetween,         ///< col BETWEEN lo AND hi
+    kIn,              ///< col IN (lit, ...)
+    kLike,            ///< col LIKE 'pattern'
+    kExists,          ///< [NOT] EXISTS (subquery)
+    kInSubquery,      ///< col IN (subquery)
+  };
+  Kind kind = Kind::kCompareLiteral;
+  ColumnRef lhs;
+  CompareOp op = CompareOp::kEq;
+  Literal rhs_literal;          // kCompareLiteral
+  ColumnRef rhs_column;         // kJoin
+  Literal between_lo, between_hi;  // kBetween
+  std::vector<Literal> in_list;    // kIn
+  std::string like_pattern;        // kLike
+  /// kExists / kInSubquery: the nested SELECT (shared_ptr keeps Predicate
+  /// copyable). For kInSubquery the subquery's single select item is the
+  /// join column matched against `lhs`.
+  std::shared_ptr<SelectStatement> subquery;
+  bool negated = false;  ///< NOT EXISTS (anti-join)
+};
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One item of a SELECT list: '*', a column, or an aggregate of a column
+/// (COUNT(*) has agg == kCount with star == true).
+struct SelectItem {
+  bool star = false;
+  AggFunc agg = AggFunc::kNone;
+  ColumnRef column;  ///< unused when star and agg == kCount
+  std::string alias;
+};
+
+/// A table in the FROM clause with its optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< empty if none; resolution falls back to table name
+  /// Set by subquery flattening: this table came from an EXISTS / IN
+  /// subquery, so joins against it are semi-joins (output capped at the
+  /// outer side's cardinality).
+  bool semi_join = false;
+
+  const std::string& BindName() const { return alias.empty() ? table : alias; }
+};
+
+struct OrderItem {
+  ColumnRef column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  std::vector<Predicate> where;  ///< conjuncts (ANDed)
+  std::vector<ColumnRef> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t top = -1;  ///< TOP n, -1 if absent
+};
+
+struct InsertStatement {
+  std::string table;
+  int64_t num_rows = 1;  ///< rows inserted (VALUES -> 1)
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::string> set_columns;
+  std::vector<Predicate> where;
+};
+
+struct DeleteStatement {
+  std::string table;
+  std::vector<Predicate> where;
+};
+
+/// A parsed DML statement: exactly one of the members is populated
+/// according to `kind`.
+struct SqlStatement {
+  enum class Kind { kSelect, kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kSelect;
+  SelectStatement select;
+  InsertStatement insert;
+  UpdateStatement update;
+  DeleteStatement del;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_SQL_AST_H_

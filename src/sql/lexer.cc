@@ -1,0 +1,103 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {  // line comment
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token t;
+    t.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) || sql[j] == '_')) ++j;
+      t.kind = Token::Kind::kIdent;
+      t.text = ToLower(sql.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) || sql[j] == '.' ||
+                       sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') && j > i &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        ++j;
+      }
+      t.kind = Token::Kind::kNumber;
+      t.text = sql.substr(i, j - i);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // escaped quote
+            value += '\'';
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value += sql[j++];
+        }
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat("unterminated string at offset %zu", i));
+      }
+      t.kind = Token::Kind::kString;
+      t.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-character operators first.
+      static const char* kTwoChar[] = {"<>", "!=", "<=", ">="};
+      std::string two = sql.substr(i, 2);
+      bool matched = false;
+      for (const char* op : kTwoChar) {
+        if (two == op) {
+          t.kind = Token::Kind::kPunct;
+          t.text = two;
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingle = "(),.*=<>;+-/%";
+        if (kSingle.find(c) == std::string::npos) {
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+        }
+        t.kind = Token::Kind::kPunct;
+        t.text = std::string(1, c);
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.pos = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,29 @@
+// SQL tokenizer. Keywords are case-insensitive; identifiers preserve case
+// but are matched case-insensitively by the parser and binder.
+
+#ifndef DBLAYOUT_SQL_LEXER_H_
+#define DBLAYOUT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dblayout {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;   ///< identifier / punct text (identifiers lowercased)
+  double number = 0;  ///< numeric value for kNumber
+  size_t pos = 0;     ///< byte offset in the input, for error messages
+};
+
+/// Tokenizes `sql`. Recognized punctuation: ( ) , . * = <> != < <= > >= ;
+/// Strings use single quotes with '' as escape. Errors on unterminated
+/// strings or unexpected characters.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_SQL_LEXER_H_

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the SQL DML subset (see ast.h).
+
+#ifndef DBLAYOUT_SQL_PARSER_H_
+#define DBLAYOUT_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace dblayout {
+
+/// Parses one DML statement (a trailing ';' is allowed).
+Result<SqlStatement> ParseSql(const std::string& sql);
+
+/// Parses a workload file: statements separated by ';' (or, as in SQL Server
+/// workload scripts, by GO on its own line). Blank statements are skipped.
+Result<std::vector<SqlStatement>> ParseSqlScript(const std::string& script);
+
+/// Days since 1970-01-01 for a 'yyyy-mm-dd' string.
+Result<double> ParseDateDays(const std::string& iso_date);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_SQL_PARSER_H_

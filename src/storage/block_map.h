@@ -1,0 +1,58 @@
+// Materialization of a layout: assigning each object's blocks to concrete
+// physical positions on each drive. The execution simulator needs physical
+// positions to decide whether consecutive accesses are sequential (transfer
+// only) or require a seek.
+
+#ifndef DBLAYOUT_STORAGE_BLOCK_MAP_H_
+#define DBLAYOUT_STORAGE_BLOCK_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/disk.h"
+#include "storage/layout.h"
+
+namespace dblayout {
+
+/// A contiguous run of an object's blocks on one drive.
+struct ObjectExtent {
+  int disk = 0;           ///< drive index
+  int64_t start = 0;      ///< first physical block on the drive
+  int64_t num_blocks = 0; ///< extent length in blocks
+};
+
+/// Physical placement of every object under a materialized layout. Objects
+/// are laid out one after another, so each (object, drive) pair owns a single
+/// contiguous extent — matching how a file per filegroup member is created
+/// and then proportionally filled.
+class BlockMap {
+ public:
+  /// Materializes `layout` for objects of the given sizes onto `fleet`.
+  /// Fails with CapacityExceeded if any drive overflows.
+  static Result<BlockMap> Materialize(const Layout& layout,
+                                      const std::vector<int64_t>& object_blocks,
+                                      const DiskFleet& fleet);
+
+  int num_objects() const { return static_cast<int>(extents_.size()); }
+
+  /// Extents (one per drive that holds a positive share) of object i,
+  /// ascending by drive index.
+  const std::vector<ObjectExtent>& ExtentsOf(int i) const {
+    return extents_[static_cast<size_t>(i)];
+  }
+
+  /// Total blocks of object i placed on drive j (0 if none).
+  int64_t BlocksOnDisk(int i, int j) const;
+
+  /// Blocks in use on drive j.
+  int64_t UsedOnDisk(int j) const { return used_[static_cast<size_t>(j)]; }
+
+ private:
+  std::vector<std::vector<ObjectExtent>> extents_;  // per object
+  std::vector<int64_t> used_;                       // per drive
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_STORAGE_BLOCK_MAP_H_

@@ -1,0 +1,134 @@
+#include "storage/disk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace dblayout {
+
+const char* AvailabilityName(Availability a) {
+  switch (a) {
+    case Availability::kNone:
+      return "None";
+    case Availability::kParity:
+      return "Parity";
+    case Availability::kMirroring:
+      return "Mirroring";
+  }
+  return "?";
+}
+
+DiskFleet DiskFleet::Uniform(int m, double capacity_gb, double seek_ms,
+                             double read_mb_s, double write_mb_s) {
+  std::vector<DiskDrive> drives;
+  drives.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    DiskDrive d;
+    d.name = StrFormat("D%d", j + 1);
+    d.capacity_blocks = BytesToBlocks(static_cast<int64_t>(capacity_gb * 1e9));
+    d.seek_ms = seek_ms;
+    d.read_mb_s = read_mb_s;
+    d.write_mb_s = write_mb_s;
+    drives.push_back(std::move(d));
+  }
+  return DiskFleet(std::move(drives));
+}
+
+DiskFleet DiskFleet::Heterogeneous(int m, double spread, uint64_t seed,
+                                   double capacity_gb, double seek_ms,
+                                   double read_mb_s, double write_mb_s) {
+  Rng rng(seed);
+  std::vector<DiskDrive> drives;
+  drives.reserve(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
+    // Factor in [1 - spread/2, 1 + spread/2]; fast disks tend to be fast in
+    // both seek and transfer, as with real drive generations.
+    const double f = rng.UniformDouble(1.0 - spread / 2, 1.0 + spread / 2);
+    DiskDrive d;
+    d.name = StrFormat("D%d", j + 1);
+    d.capacity_blocks = BytesToBlocks(static_cast<int64_t>(capacity_gb * 1e9));
+    d.seek_ms = seek_ms / f;
+    d.read_mb_s = read_mb_s * f;
+    d.write_mb_s = write_mb_s * f;
+    drives.push_back(std::move(d));
+  }
+  return DiskFleet(std::move(drives));
+}
+
+Result<DiskFleet> DiskFleet::FromSpec(const std::string& text) {
+  DiskFleet fleet;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    DiskDrive d;
+    double capacity_gb = 0;
+    std::string avail;
+    if (!(ls >> d.name >> capacity_gb >> d.seek_ms >> d.read_mb_s >> d.write_mb_s)) {
+      return Status::ParseError(
+          StrFormat("disk spec line %d: expected "
+                    "'name capacity_gb seek_ms read_mb_s write_mb_s [avail]'",
+                    lineno));
+    }
+    if (capacity_gb <= 0 || d.seek_ms < 0 || d.read_mb_s <= 0 || d.write_mb_s <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("disk spec line %d: non-positive characteristic", lineno));
+    }
+    d.capacity_blocks = BytesToBlocks(static_cast<int64_t>(capacity_gb * 1e9));
+    if (ls >> avail) {
+      avail = ToLower(avail);
+      if (avail == "none") {
+        d.avail = Availability::kNone;
+      } else if (avail == "parity") {
+        d.avail = Availability::kParity;
+      } else if (avail == "mirroring") {
+        d.avail = Availability::kMirroring;
+      } else {
+        return Status::ParseError(
+            StrFormat("disk spec line %d: unknown availability '%s'", lineno,
+                      avail.c_str()));
+      }
+    }
+    fleet.Add(std::move(d));
+  }
+  if (fleet.num_disks() == 0) {
+    return Status::InvalidArgument("disk spec contains no drives");
+  }
+  return fleet;
+}
+
+int64_t DiskFleet::TotalCapacityBlocks() const {
+  int64_t total = 0;
+  for (const auto& d : drives_) total += d.capacity_blocks;
+  return total;
+}
+
+std::vector<int> DiskFleet::ByDecreasingTransferRate() const {
+  std::vector<int> order(drives_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return drives_[static_cast<size_t>(a)].read_mb_s >
+           drives_[static_cast<size_t>(b)].read_mb_s;
+  });
+  return order;
+}
+
+std::string DiskFleet::ToString() const {
+  std::string out;
+  for (const auto& d : drives_) {
+    out += StrFormat("%s: %.1fGB seek=%.2fms read=%.1fMB/s write=%.1fMB/s avail=%s\n",
+                     d.name.c_str(), d.CapacityGb(), d.seek_ms, d.read_mb_s,
+                     d.write_mb_s, AvailabilityName(d.avail));
+  }
+  return out;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,113 @@
+// Database layout: the n x m fraction matrix of Definition 1, plus validity
+// checking (Definition 2), the FULL STRIPING baseline, filegroup inference,
+// and the data-movement metric used by incrementality constraints.
+
+#ifndef DBLAYOUT_STORAGE_LAYOUT_H_
+#define DBLAYOUT_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk.h"
+
+namespace dblayout {
+
+/// A database layout assigns each object a fraction of its blocks on each
+/// disk drive: cell (i, j) is the fraction of object i placed on drive j.
+/// Rows must be non-negative and sum to 1 for a valid layout.
+class Layout {
+ public:
+  Layout() = default;
+  Layout(int num_objects, int num_disks)
+      : n_(num_objects), m_(num_disks),
+        x_(static_cast<size_t>(num_objects) * static_cast<size_t>(num_disks), 0.0) {}
+
+  int num_objects() const { return n_; }
+  int num_disks() const { return m_; }
+
+  double x(int i, int j) const { return x_[Idx(i, j)]; }
+  void set_x(int i, int j, double v) { x_[Idx(i, j)] = v; }
+
+  /// Replaces object i's row: allocated across `disks` in proportion to each
+  /// chosen drive's read transfer rate (the paper's allocation rule for both
+  /// FULL STRIPING and the greedy step).
+  void AssignProportional(int i, const std::vector<int>& disks, const DiskFleet& fleet);
+
+  /// Replaces object i's row with equal fractions over `disks`.
+  void AssignEqual(int i, const std::vector<int>& disks);
+
+  /// Disk indices on which object i has a positive fraction.
+  std::vector<int> DisksOf(int i) const;
+
+  /// Number of disks with a positive fraction of object i.
+  int Width(int i) const;
+
+  /// Blocks of object i (of total size `size_blocks`) on drive j, by the
+  /// largest-remainder rounding also used at materialization time.
+  int64_t BlocksOnDisk(int i, int j, int64_t size_blocks) const;
+
+  /// Exact (unrounded) block count x_ij * |R_i| used by the analytic cost
+  /// model.
+  double FractionalBlocks(int i, int j, int64_t size_blocks) const {
+    return x(i, j) * static_cast<double>(size_blocks);
+  }
+
+  /// Checks Definition 2: every row sums to 1 with non-negative entries, and
+  /// no drive's capacity is exceeded by the rounded allocation.
+  Status Validate(const std::vector<int64_t>& object_blocks, const DiskFleet& fleet) const;
+
+  /// Full striping: every object on every drive, fractions proportional to
+  /// read transfer rate (footnote 1 of the paper).
+  static Layout FullStriping(int num_objects, const DiskFleet& fleet);
+
+  /// Blocks that must be rewritten to turn `from` into `to`:
+  /// sum_i sum_j max(0, to.x(i,j) - from.x(i,j)) * |R_i|.
+  static double DataMovementBlocks(const Layout& from, const Layout& to,
+                                   const std::vector<int64_t>& object_blocks);
+
+  /// True if both layouts place every object on the same disk sets with
+  /// fractions equal within `eps`.
+  bool ApproxEquals(const Layout& other, double eps = 1e-9) const;
+
+  /// Human-readable rendering; `object_names` may be empty (indices used).
+  std::string ToString(const std::vector<std::string>& object_names,
+                       const DiskFleet& fleet) const;
+
+  /// CSV serialization: header `object,<disk names...>`, one row per object
+  /// with its fraction on each drive. Round-trips through FromCsv.
+  std::string ToCsv(const std::vector<std::string>& object_names,
+                    const DiskFleet& fleet) const;
+
+  /// Parses a CSV produced by ToCsv (or written by hand). Object rows may
+  /// appear in any order but must cover exactly `object_names`; the header's
+  /// drive names must match `fleet` in order.
+  static Result<Layout> FromCsv(const std::string& text,
+                                const std::vector<std::string>& object_names,
+                                const DiskFleet& fleet);
+
+ private:
+  size_t Idx(int i, int j) const {
+    return static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(j);
+  }
+  int n_ = 0;
+  int m_ = 0;
+  std::vector<double> x_;
+};
+
+/// A filegroup: the disk-set signature shared by one or more objects.
+/// Inferred from a layout (objects on identical disk sets form a filegroup),
+/// mirroring how SQL Server filegroups / Oracle tablespaces would realize it.
+struct Filegroup {
+  std::vector<int> disks;    ///< disk indices, ascending
+  std::vector<int> objects;  ///< object indices assigned to this filegroup
+};
+
+/// Groups objects of `layout` into filegroups by identical disk set.
+std::vector<Filegroup> InferFilegroups(const Layout& layout);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_STORAGE_LAYOUT_H_

@@ -1,0 +1,179 @@
+#include "workload/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+double WorkloadProfile::NodeBlocks(int obj) const {
+  double total = 0;
+  for (const auto& s : statements) {
+    for (const auto& sp : s.subplans) {
+      for (const auto& a : sp.accesses) {
+        if (a.object_id == obj) total += s.weight * a.blocks;
+      }
+    }
+  }
+  return total;
+}
+
+Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& workload,
+                                        const OptimizerOptions& options) {
+  WorkloadProfile profile;
+  profile.num_objects = db.Objects().size();
+  Optimizer optimizer(db, options);
+  for (const auto& ws : workload.statements()) {
+    auto plan = optimizer.Plan(ws.parsed);
+    if (!plan.ok()) {
+      return Status(plan.status().code(),
+                    StrFormat("statement '%.60s...': %s", ws.sql.c_str(),
+                              plan.status().message().c_str()));
+    }
+    StatementProfile sp;
+    sp.sql = ws.sql;
+    sp.weight = ws.weight;
+    sp.stream = ws.stream;
+    sp.plan = std::move(plan).value();
+    sp.subplans = DecomposeIntoSubplans(*sp.plan);
+    profile.statements.push_back(std::move(sp));
+  }
+  return profile;
+}
+
+WorkloadProfile MergeConcurrentStreams(const WorkloadProfile& profile) {
+  WorkloadProfile out;
+  out.num_objects = profile.num_objects;
+
+  // Per stream, pipelines in execution order (bottom-up within a statement,
+  // statements in workload order). Serial statements pass through.
+  std::map<int, std::vector<const SubplanAccess*>> streams;
+  for (const auto& s : profile.statements) {
+    if (s.stream <= 0) {
+      StatementProfile copy;
+      copy.sql = s.sql;
+      copy.weight = s.weight;
+      copy.stream = s.stream;
+      copy.plan = s.plan ? ClonePlan(*s.plan) : nullptr;
+      copy.subplans = s.subplans;
+      out.statements.push_back(std::move(copy));
+      continue;
+    }
+    auto& queue = streams[s.stream];
+    for (auto it = s.subplans.rbegin(); it != s.subplans.rend(); ++it) {
+      queue.push_back(&*it);
+    }
+  }
+  if (streams.empty()) return out;
+
+  size_t rounds = 0;
+  for (const auto& [id, queue] : streams) {
+    (void)id;
+    rounds = std::max(rounds, queue.size());
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    StatementProfile merged;
+    merged.sql = StrFormat("<concurrent round %zu>", r + 1);
+    merged.weight = 1.0;
+    SubplanAccess combined;
+    for (const auto& [id, queue] : streams) {
+      (void)id;
+      if (r >= queue.size()) continue;
+      for (const ObjectAccess& a : queue[r]->accesses) {
+        combined.accesses.push_back(a);
+      }
+    }
+    merged.subplans.push_back(std::move(combined));
+    out.statements.push_back(std::move(merged));
+  }
+  return out;
+}
+
+WorkloadProfile CompressProfile(const WorkloadProfile& profile) {
+  WorkloadProfile out;
+  out.num_objects = profile.num_objects;
+  // Signature: a stable text encoding of the subplan access structure.
+  // Block counts are rounded to 3 significant-ish decimals so float noise
+  // does not defeat matching.
+  auto signature = [](const StatementProfile& s) {
+    std::string sig;
+    for (const auto& sp : s.subplans) {
+      sig += '|';
+      for (const auto& a : sp.accesses) {
+        sig += StrFormat("%d:%.3f%c%c%c;", a.object_id, a.blocks,
+                         a.is_write ? 'w' : 'r', a.random ? '!' : '.',
+                         a.read_modify_write ? 'm' : '.');
+      }
+    }
+    return sig;
+  };
+  std::map<std::string, size_t> index_of;  // signature -> index in out
+  for (const auto& s : profile.statements) {
+    if (s.stream > 0) {  // keep concurrent statements individual
+      StatementProfile copy;
+      copy.sql = s.sql;
+      copy.weight = s.weight;
+      copy.stream = s.stream;
+      copy.plan = s.plan ? ClonePlan(*s.plan) : nullptr;
+      copy.subplans = s.subplans;
+      out.statements.push_back(std::move(copy));
+      continue;
+    }
+    const std::string sig = signature(s);
+    auto it = index_of.find(sig);
+    if (it != index_of.end()) {
+      out.statements[it->second].weight += s.weight;
+      continue;
+    }
+    index_of[sig] = out.statements.size();
+    StatementProfile rep;
+    rep.sql = s.sql;
+    rep.weight = s.weight;
+    rep.subplans = s.subplans;
+    out.statements.push_back(std::move(rep));
+  }
+  return out;
+}
+
+WeightedGraph BuildAccessGraph(const WorkloadProfile& profile) {
+  WeightedGraph g(profile.num_objects);
+  for (const auto& s : profile.statements) {
+    for (const auto& sp : s.subplans) {
+      // Node weights: blocks of each object accessed in the sub-plan.
+      for (const auto& a : sp.accesses) {
+        g.AddNodeWeight(static_cast<size_t>(a.object_id), s.weight * a.blocks);
+      }
+      // Edge weights: for each pair of distinct objects co-accessed, the sum
+      // of the blocks of the two objects (Fig. 6, step 5).
+      for (size_t i = 0; i < sp.accesses.size(); ++i) {
+        for (size_t j = i + 1; j < sp.accesses.size(); ++j) {
+          const auto& a = sp.accesses[i];
+          const auto& b = sp.accesses[j];
+          if (a.object_id == b.object_id) continue;
+          g.AddEdgeWeight(static_cast<size_t>(a.object_id),
+                          static_cast<size_t>(b.object_id),
+                          s.weight * (a.blocks + b.blocks));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+std::string AccessGraphToString(const WeightedGraph& g, const Database& db) {
+  const auto& objects = db.Objects();
+  std::string out = "access graph:\n";
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    if (g.node_weight(u) <= 0 && g.Neighbors(u).empty()) continue;
+    out += StrFormat("  %s (%.0f)\n", objects[u].name.c_str(), g.node_weight(u));
+    for (const auto& [v, w] : g.Neighbors(u)) {
+      if (u < v) {
+        out += StrFormat("    -- %s : %.0f\n", objects[v].name.c_str(), w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,78 @@
+// The Analyze Workload component (Section 4): obtains the execution plan of
+// every statement in "no-execute" mode (via the optimizer), decomposes each
+// plan into non-blocking sub-plans, and derives
+//   (a) the per-statement access profile the cost model consumes, and
+//   (b) the access graph (Fig. 6) the search's partitioning step consumes.
+
+#ifndef DBLAYOUT_WORKLOAD_ANALYZER_H_
+#define DBLAYOUT_WORKLOAD_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "graph/weighted_graph.h"
+#include "optimizer/optimizer.h"
+#include "workload/workload.h"
+
+namespace dblayout {
+
+/// The analyzed form of one workload statement.
+struct StatementProfile {
+  std::string sql;
+  double weight = 1.0;
+  int stream = 0;  ///< concurrency stream tag (see WorkloadStatement)
+  std::unique_ptr<PlanNode> plan;  ///< null for synthesized merged statements
+  std::vector<SubplanAccess> subplans;
+};
+
+/// The analyzed workload: everything the cost model and search need. The
+/// original SQL is never executed, and (as in the paper) the produced plans
+/// do not depend on the current layout.
+struct WorkloadProfile {
+  std::vector<StatementProfile> statements;
+  size_t num_objects = 0;
+
+  /// Total blocks accessed of object `obj` across the workload (weighted).
+  double NodeBlocks(int obj) const;
+};
+
+/// Analyzes `workload` against `db`. Fails if any statement does not bind.
+Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& workload,
+                                        const OptimizerOptions& options = {});
+
+/// Concurrency extension (the paper's §9 "ongoing work"): models concurrent
+/// execution of statements tagged with different positive stream ids by
+/// zipping their pipelines round-robin. Pipelines active in the same round
+/// are merged into one synthesized non-blocking pipeline, so their objects
+/// become co-accessed for the cost model and the access graph alike.
+/// Statements with stream <= 0 pass through unchanged. The synthesized
+/// merged statements carry weight 1 and a null plan (trace semantics: a
+/// stream already encodes repetition).
+WorkloadProfile MergeConcurrentStreams(const WorkloadProfile& profile);
+
+/// Workload compression: statements whose sub-plan access signatures are
+/// identical (same pipelines over the same objects with the same block
+/// counts and access kinds — e.g. the hundreds of near-identical drill-down
+/// queries of APB-800) are collapsed into one statement with the summed
+/// weight. The cost model and access graph are *exactly* invariant under
+/// this transformation, while the search evaluates far fewer statements.
+/// Synthesized statements carry a null plan. Statements with positive
+/// stream tags are left uncompressed (they matter individually for
+/// concurrency merging).
+WorkloadProfile CompressProfile(const WorkloadProfile& profile);
+
+/// Builds the access graph of Fig. 6 from an analyzed workload: node weights
+/// are weighted blocks accessed; an edge (u,v) accumulates, over every
+/// sub-plan co-accessing u and v, the sum of the blocks of u and v accessed
+/// in that sub-plan (times statement weight).
+WeightedGraph BuildAccessGraph(const WorkloadProfile& profile);
+
+/// Renders the access graph with object names for debugging/EXPLAIN output.
+std::string AccessGraphToString(const WeightedGraph& g, const Database& db);
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_WORKLOAD_ANALYZER_H_

@@ -1,0 +1,50 @@
+// Profiler-trace ingestion. The paper gathers representative workloads with
+// "profiling tools available in modern commercial database systems, e.g.,
+// the SQL Server Profiler". This module parses such a trace — one event per
+// line with a timestamp and a session id — into a Workload:
+//
+//   # timestamp_ms  session_id  sql...
+//   1000  51  SELECT COUNT(*) FROM orders
+//   1012  52  SELECT * FROM customers WHERE c_id = 7;
+//
+// Lines starting with '#' are comments; the SQL runs to the end of the
+// line (trailing ';' optional). Identical statement texts are aggregated:
+// the statement appears once with weight = number of occurrences.
+// Optionally, session ids are mapped to concurrency streams (sessions that
+// overlap in time are concurrent), feeding the concurrency extension.
+
+#ifndef DBLAYOUT_WORKLOAD_TRACE_H_
+#define DBLAYOUT_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace dblayout {
+
+struct TraceOptions {
+  /// Map each distinct session id to a concurrency stream tag. When false,
+  /// the trace becomes a plain set-of-statements workload (paper's model).
+  bool sessions_as_streams = false;
+  /// With sessions_as_streams, identical texts are NOT aggregated (stream
+  /// order matters); otherwise repeated texts fold into one weighted entry.
+};
+
+/// One parsed trace event (exposed for tooling/tests).
+struct TraceEvent {
+  double timestamp_ms = 0;
+  int session_id = 0;
+  std::string sql;
+};
+
+/// Parses the raw events of a trace without interpreting them.
+Result<std::vector<TraceEvent>> ParseTraceEvents(const std::string& text);
+
+/// Converts a trace into a workload per `options`.
+Result<Workload> WorkloadFromTrace(const std::string& name, const std::string& text,
+                                   const TraceOptions& options = {});
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_WORKLOAD_TRACE_H_

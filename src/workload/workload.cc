@@ -1,0 +1,90 @@
+#include "workload/workload.h"
+
+#include <cstdlib>
+
+#include "common/strutil.h"
+#include "sql/parser.h"
+
+namespace dblayout {
+
+Status Workload::Add(const std::string& sql, double weight, int stream) {
+  if (weight <= 0) {
+    return Status::InvalidArgument(StrFormat("non-positive weight %g", weight));
+  }
+  auto parsed = ParseSql(sql);
+  if (!parsed.ok()) return parsed.status();
+  statements_.push_back(
+      WorkloadStatement{sql, weight, stream, std::move(parsed).value()});
+  return Status::OK();
+}
+
+bool Workload::HasConcurrencyStreams() const {
+  for (const auto& s : statements_) {
+    if (s.stream > 0) return true;
+  }
+  return false;
+}
+
+Result<Workload> Workload::FromScript(const std::string& name,
+                                      const std::string& script) {
+  Workload wl(name);
+  // Split into statements on ';' / GO while tracking `-- weight:` and
+  // `-- stream:` comments.
+  double pending_weight = 1.0;
+  int pending_stream = 0;
+  std::string current;
+  auto flush = [&]() -> Status {
+    const std::string sql = Trim(current);
+    current.clear();
+    if (sql.empty()) {
+      return Status::OK();
+    }
+    Status st = wl.Add(sql, pending_weight, pending_stream);
+    pending_weight = 1.0;
+    pending_stream = 0;
+    return st;
+  };
+  for (const std::string& raw_line : Split(script, '\n')) {
+    const std::string line = Trim(raw_line);
+    const std::string lower = ToLower(line);
+    if (StartsWith(lower, "-- weight:")) {
+      pending_weight = std::strtod(line.substr(10).c_str(), nullptr);
+      if (pending_weight <= 0) {
+        return Status::ParseError(StrFormat("bad weight line '%s'", line.c_str()));
+      }
+      continue;
+    }
+    if (StartsWith(lower, "-- stream:")) {
+      pending_stream = std::atoi(line.substr(10).c_str());
+      if (pending_stream <= 0) {
+        return Status::ParseError(StrFormat("bad stream line '%s'", line.c_str()));
+      }
+      continue;
+    }
+    if (StartsWith(lower, "--")) continue;
+    if (lower == "go") {
+      DBLAYOUT_RETURN_NOT_OK(flush());
+      continue;
+    }
+    // Accumulate, splitting on ';'.
+    std::string rest = raw_line;
+    size_t pos;
+    while ((pos = rest.find(';')) != std::string::npos) {
+      current += rest.substr(0, pos);
+      DBLAYOUT_RETURN_NOT_OK(flush());
+      rest = rest.substr(pos + 1);
+    }
+    current += rest;
+    current += '\n';
+  }
+  DBLAYOUT_RETURN_NOT_OK(flush());
+  return wl;
+}
+
+double Workload::TotalWeight() const {
+  double total = 0;
+  for (const auto& s : statements_) total += s.weight;
+  return total;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace dblayout {
+namespace {
+
+Table SmallTable(const std::string& name, int64_t rows) {
+  Table t;
+  t.name = name;
+  t.row_count = rows;
+  Column id;
+  id.name = "id";
+  id.type = ColumnType::kInt;
+  id.distinct_count = rows;
+  id.min_value = 1;
+  id.max_value = static_cast<double>(rows);
+  Column payload;
+  payload.name = "payload";
+  payload.type = ColumnType::kChar;
+  payload.declared_length = 100;
+  t.columns = {id, payload};
+  t.clustered_key = {"id"};
+  return t;
+}
+
+TEST(CatalogTest, ColumnWidths) {
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kInt, 0), 4);
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kBigInt, 0), 8);
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kDouble, 0), 8);
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kDecimal, 0), 9);
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kChar, 25), 25);
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kVarchar, 100), 52);  // half + 2
+  EXPECT_EQ(ColumnWidthBytes(ColumnType::kDate, 0), 8);
+}
+
+TEST(CatalogTest, TableSizing) {
+  Table t = SmallTable("t", 10000);
+  EXPECT_EQ(t.RowWidthBytes(), 10 + 4 + 100);
+  EXPECT_GT(t.RowsPerBlock(), 500.0);
+  EXPECT_GE(t.DataBlocks(), 10000 * t.RowWidthBytes() / kBlockBytes);
+  Table empty = SmallTable("e", 0);
+  EXPECT_EQ(empty.DataBlocks(), 1);  // at least one block
+}
+
+TEST(CatalogTest, AddTableValidation) {
+  Database db;
+  EXPECT_TRUE(db.AddTable(SmallTable("a", 10)).ok());
+  EXPECT_EQ(db.AddTable(SmallTable("a", 10)).code(), StatusCode::kAlreadyExists);
+  Table bad = SmallTable("b", -1);
+  EXPECT_EQ(db.AddTable(bad).code(), StatusCode::kInvalidArgument);
+  Table bad_key = SmallTable("c", 10);
+  bad_key.clustered_key = {"missing"};
+  EXPECT_EQ(db.AddTable(bad_key).code(), StatusCode::kInvalidArgument);
+  Table no_name = SmallTable("", 1);
+  EXPECT_EQ(db.AddTable(no_name).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, AddIndexValidation) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("t", 1000)).ok());
+  EXPECT_EQ(db.AddIndex(Index{"ix", "missing", {"id"}, false}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.AddIndex(Index{"ix", "t", {}, false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(db.AddIndex(Index{"ix", "t", {"nope"}, false}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.AddIndex(Index{"ix", "t", {"id"}, true}).ok());
+  EXPECT_EQ(db.AddIndex(Index{"ix", "t", {"id"}, true}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, ObjectsEnumeration) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("t1", 1000)).ok());
+  ASSERT_TRUE(db.AddTable(SmallTable("t2", 2000)).ok());
+  ASSERT_TRUE(db.AddIndex(Index{"ix1", "t1", {"id"}, false}).ok());
+  const auto& objs = db.Objects();
+  ASSERT_EQ(objs.size(), 3u);
+  EXPECT_EQ(objs[0].name, "t1");
+  EXPECT_EQ(objs[0].kind, ObjectKind::kClusteredIndex);
+  EXPECT_EQ(objs[1].name, "t2");
+  EXPECT_EQ(objs[2].name, "t1.ix1");
+  EXPECT_EQ(objs[2].kind, ObjectKind::kNonClusteredIndex);
+  for (size_t i = 0; i < objs.size(); ++i) {
+    EXPECT_EQ(objs[i].id, static_cast<int>(i));
+    EXPECT_GE(objs[i].size_blocks, 1);
+  }
+  EXPECT_EQ(db.ObjectIdOfTable("t2").value(), 1);
+  EXPECT_EQ(db.ObjectIdOfIndex("t1", "ix1").value(), 2);
+  EXPECT_EQ(db.ObjectIdOfTable("zzz").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.ObjectIdOfIndex("t1", "zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, HeapVsClustered) {
+  Database db;
+  Table heap = SmallTable("h", 10);
+  heap.clustered_key.clear();
+  ASSERT_TRUE(db.AddTable(heap).ok());
+  EXPECT_EQ(db.Objects()[0].kind, ObjectKind::kHeap);
+}
+
+TEST(CatalogTest, MaterializedViewKind) {
+  Database db;
+  Table mv = SmallTable("mv", 10);
+  mv.is_materialized_view = true;
+  ASSERT_TRUE(db.AddTable(mv).ok());
+  EXPECT_EQ(db.Objects()[0].kind, ObjectKind::kMaterializedView);
+}
+
+TEST(CatalogTest, IndexBlocksSmallerThanTable) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("t", 1'000'000)).ok());
+  ASSERT_TRUE(db.AddIndex(Index{"ix", "t", {"id"}, false}).ok());
+  const Index* ix = db.FindIndex("t", "ix");
+  ASSERT_NE(ix, nullptr);
+  // A narrow index is much smaller than its 114-byte-row table.
+  EXPECT_LT(db.IndexBlocks(*ix), db.FindTable("t")->DataBlocks() / 3);
+  EXPECT_GE(db.IndexBlocks(*ix), 1);
+}
+
+TEST(CatalogTest, IndexOnColumn) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("t", 100)).ok());
+  ASSERT_TRUE(db.AddIndex(Index{"ix", "t", {"payload", "id"}, false}).ok());
+  EXPECT_NE(db.IndexOnColumn("t", "payload"), nullptr);
+  EXPECT_EQ(db.IndexOnColumn("t", "id"), nullptr);  // not the leading key
+  EXPECT_EQ(db.IndexOnColumn("zzz", "payload"), nullptr);
+}
+
+TEST(CatalogTest, SizesAndTotals) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("a", 50000)).ok());
+  ASSERT_TRUE(db.AddTable(SmallTable("b", 100)).ok());
+  auto sizes = db.ObjectSizes();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], db.TotalBlocks());
+  EXPECT_GT(sizes[0], sizes[1]);
+}
+
+TEST(CatalogTest, ObjectsRebuildAfterMutation) {
+  Database db;
+  ASSERT_TRUE(db.AddTable(SmallTable("a", 10)).ok());
+  EXPECT_EQ(db.Objects().size(), 1u);
+  ASSERT_TRUE(db.AddTable(SmallTable("b", 10)).ok());
+  EXPECT_EQ(db.Objects().size(), 2u);
+  ASSERT_TRUE(db.AddIndex(Index{"ix", "a", {"id"}, false}).ok());
+  EXPECT_EQ(db.Objects().size(), 3u);
+}
+
+TEST(CatalogTest, ToStringListsObjects) {
+  Database db("mydb");
+  ASSERT_TRUE(db.AddTable(SmallTable("widgets", 42)).ok());
+  const std::string s = db.ToString();
+  EXPECT_NE(s.find("mydb"), std::string::npos);
+  EXPECT_NE(s.find("widgets"), std::string::npos);
+  EXPECT_NE(s.find("clustered"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,186 @@
+// Tests for the concurrency extension (the paper's §9 "ongoing work"):
+// stream-tagged statements, stream merging in the analyzer, the advisor's
+// concurrency-aware mode, and the engine's concurrent replay.
+
+#include <gtest/gtest.h>
+
+#include "engine/execution_sim.h"
+#include "layout/advisor.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+/// Two large tables that are never co-accessed *within* a statement.
+Database TwoScanTables() {
+  Database db("concdb");
+  for (const char* name : {"scan_a", "scan_b"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 400'000;
+    t.columns = {IntKey(std::string(name) + "_k", 400'000)};
+    Column pay;
+    pay.name = std::string(name) + "_p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 120;
+    t.columns.push_back(pay);
+    t.clustered_key = {t.columns[0].name};
+    EXPECT_TRUE(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+/// Stream 1 scans A repeatedly, stream 2 scans B repeatedly.
+Workload ConcurrentScans(int repeats = 3) {
+  Workload wl("concurrent-scans");
+  for (int r = 0; r < repeats; ++r) {
+    EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_a", 1, /*stream=*/1).ok());
+    EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_b", 1, /*stream=*/2).ok());
+  }
+  return wl;
+}
+
+TEST(ConcurrencyTest, StreamTagsParsedFromScript) {
+  auto wl = Workload::FromScript("s",
+                                 "-- stream: 1\n"
+                                 "SELECT * FROM a;\n"
+                                 "-- stream: 2\n"
+                                 "-- weight: 3\n"
+                                 "SELECT * FROM b;\n"
+                                 "SELECT * FROM c;\n");
+  ASSERT_TRUE(wl.ok());
+  ASSERT_EQ(wl->size(), 3u);
+  EXPECT_EQ(wl->statement(0).stream, 1);
+  EXPECT_EQ(wl->statement(1).stream, 2);
+  EXPECT_DOUBLE_EQ(wl->statement(1).weight, 3);
+  EXPECT_EQ(wl->statement(2).stream, 0);  // resets after each statement
+  EXPECT_TRUE(wl->HasConcurrencyStreams());
+  EXPECT_EQ(Workload::FromScript("s", "-- stream: 0\nSELECT * FROM a;")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(ConcurrencyTest, MergeZipsStreamsIntoCoAccess) {
+  Database db = TwoScanTables();
+  Workload wl = ConcurrentScans(2);
+  auto profile = AnalyzeWorkload(db, wl);
+  ASSERT_TRUE(profile.ok());
+  // No co-access without merging.
+  WeightedGraph before = BuildAccessGraph(profile.value());
+  EXPECT_DOUBLE_EQ(before.EdgeWeight(0, 1), 0.0);
+
+  WorkloadProfile merged = MergeConcurrentStreams(profile.value());
+  // 2 rounds, each co-accessing A and B.
+  ASSERT_EQ(merged.statements.size(), 2u);
+  for (const auto& s : merged.statements) {
+    ASSERT_EQ(s.subplans.size(), 1u);
+    EXPECT_EQ(s.subplans[0].accesses.size(), 2u);
+    EXPECT_EQ(s.plan, nullptr);
+  }
+  WeightedGraph after = BuildAccessGraph(merged);
+  EXPECT_GT(after.EdgeWeight(0, 1), 0.0);
+}
+
+TEST(ConcurrencyTest, SerialStatementsPassThroughUnchanged) {
+  Database db = TwoScanTables();
+  Workload wl("mixed");
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_a").ok());  // stream 0
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_b", 2, 1).ok());
+  auto profile = AnalyzeWorkload(db, wl);
+  ASSERT_TRUE(profile.ok());
+  WorkloadProfile merged = MergeConcurrentStreams(profile.value());
+  ASSERT_EQ(merged.statements.size(), 2u);
+  EXPECT_EQ(merged.statements[0].sql, "SELECT COUNT(*) FROM scan_a");
+  EXPECT_NE(merged.statements[0].plan, nullptr);
+  EXPECT_DOUBLE_EQ(merged.statements[0].weight, 1);
+  // Single-stream statement forms rounds alone (no co-access partner).
+  EXPECT_EQ(merged.statements[1].subplans[0].accesses.size(), 1u);
+}
+
+TEST(ConcurrencyTest, UnevenStreamsZipWithoutRecycling) {
+  Database db = TwoScanTables();
+  Workload wl("uneven");
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_a", 1, 1).ok());
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_a", 1, 1).ok());
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_a", 1, 1).ok());
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM scan_b", 1, 2).ok());
+  auto profile = AnalyzeWorkload(db, wl);
+  ASSERT_TRUE(profile.ok());
+  WorkloadProfile merged = MergeConcurrentStreams(profile.value());
+  ASSERT_EQ(merged.statements.size(), 3u);  // rounds = longest stream
+  EXPECT_EQ(merged.statements[0].subplans[0].accesses.size(), 2u);  // A + B
+  EXPECT_EQ(merged.statements[1].subplans[0].accesses.size(), 1u);  // A alone
+  EXPECT_EQ(merged.statements[2].subplans[0].accesses.size(), 1u);
+}
+
+TEST(ConcurrencyTest, AdvisorSeparatesConcurrentlyScannedTables) {
+  Database db = TwoScanTables();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  Workload wl = ConcurrentScans();
+
+  // Naive mode: no statement co-accesses both tables -> full striping.
+  LayoutAdvisor naive(db, fleet);
+  auto naive_rec = naive.Recommend(wl);
+  ASSERT_TRUE(naive_rec.ok());
+  EXPECT_TRUE(naive_rec->layout.ApproxEquals(naive_rec->full_striping, 1e-6));
+
+  // Concurrency-aware mode: the tables are separated.
+  AdvisorOptions opt;
+  opt.model_concurrency = true;
+  LayoutAdvisor aware(db, fleet, opt);
+  auto rec = aware.Recommend(wl);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const int a = db.ObjectIdOfTable("scan_a").value();
+  const int b = db.ObjectIdOfTable("scan_b").value();
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FALSE(rec->layout.x(a, j) > 0 && rec->layout.x(b, j) > 0)
+        << "disk " << j;
+  }
+  EXPECT_GT(rec->ImprovementVsFullStripingPct(), 10.0);
+}
+
+TEST(ConcurrencyTest, ConcurrentReplayConfirmsSeparationWins) {
+  Database db = TwoScanTables();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  Workload wl = ConcurrentScans();
+  auto profile = AnalyzeWorkload(db, wl);
+  ASSERT_TRUE(profile.ok());
+
+  std::vector<std::vector<const PlanNode*>> streams(2);
+  for (const auto& s : profile->statements) {
+    streams[static_cast<size_t>(s.stream - 1)].push_back(s.plan.get());
+  }
+  ExecutionSimulator sim(db, fleet);
+  Layout striped = Layout::FullStriping(2, fleet);
+  Layout separated(2, 4);
+  separated.AssignEqual(0, {0, 1});
+  separated.AssignEqual(1, {2, 3});
+  const double t_striped =
+      sim.ExecuteConcurrentStreams(streams, striped).value();
+  const double t_sep = sim.ExecuteConcurrentStreams(streams, separated).value();
+  EXPECT_LT(t_sep, t_striped);
+}
+
+TEST(ConcurrencyTest, ReplayRejectsNullPlan) {
+  Database db = TwoScanTables();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  ExecutionSimulator sim(db, fleet);
+  EXPECT_EQ(sim.ExecuteConcurrentStreams({{nullptr}}, Layout::FullStriping(2, fleet))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "layout/cost_model.h"
+
+namespace dblayout {
+namespace {
+
+/// Fleet of m identical drives with exactly 1 ms per block read
+/// (65.536 MB/s) and `seek_ms` average seek, so Example 5's symbolic costs
+/// (x/T + y*S) become (x + y*seek_ms) milliseconds.
+DiskFleet UnitFleet(int m, double seek_ms = 1.0) {
+  return DiskFleet::Uniform(m, /*capacity_gb=*/10.0, seek_ms,
+                            /*read_mb_s=*/65.536, /*write_mb_s=*/65.536);
+}
+
+StatementProfile OneSubplan(std::vector<ObjectAccess> accesses, double weight = 1.0) {
+  StatementProfile s;
+  s.weight = weight;
+  SubplanAccess sp;
+  sp.accesses = std::move(accesses);
+  s.subplans.push_back(std::move(sp));
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Example 5 of the paper, verbatim: objects A (300 blocks) and B (150 blocks)
+// scanned together on three identical drives.
+//   L1 (full striping): cost = 150/T + 100*S
+//   L2 (A on D1,D2; B on D2,D3): cost = 225/T + 150*S
+//   L3 (A on D1,D2; B on D3):    cost = 150/T
+// ---------------------------------------------------------------------------
+
+class Example5Test : public ::testing::Test {
+ protected:
+  Example5Test() : fleet_(UnitFleet(3)), cost_model_(fleet_) {
+    statement_ = OneSubplan({ObjectAccess{0, 300, false, false},
+                             ObjectAccess{1, 150, false, false}});
+  }
+  DiskFleet fleet_;
+  CostModel cost_model_;
+  StatementProfile statement_;
+};
+
+TEST_F(Example5Test, FullStripingL1) {
+  Layout l1(2, 3);
+  l1.AssignEqual(0, {0, 1, 2});
+  l1.AssignEqual(1, {0, 1, 2});
+  // Per disk: 100 A + 50 B -> transfer 150, seek 2*S*50 = 100*S.
+  EXPECT_NEAR(cost_model_.StatementCost(statement_, l1), 150 + 100 * 1.0, 1e-9);
+}
+
+TEST_F(Example5Test, PartialOverlapL2IsWorst) {
+  Layout l2(2, 3);
+  l2.AssignEqual(0, {0, 1});
+  l2.AssignEqual(1, {1, 2});
+  // D2 holds 150 A + 75 B: transfer 225 + seek 2*S*75 = 150*S.
+  EXPECT_NEAR(cost_model_.StatementCost(statement_, l2), 225 + 150 * 1.0, 1e-9);
+}
+
+TEST_F(Example5Test, SeparatedL3IsBest) {
+  Layout l3(2, 3);
+  l3.AssignEqual(0, {0, 1});
+  l3.AssignEqual(1, {2});
+  // No disk holds both objects; D1/D2 carry 150 A each, D3 carries 150 B.
+  EXPECT_NEAR(cost_model_.StatementCost(statement_, l3), 150.0, 1e-9);
+}
+
+TEST_F(Example5Test, PaperOrderingHolds) {
+  Layout l1(2, 3), l2(2, 3), l3(2, 3);
+  l1.AssignEqual(0, {0, 1, 2});
+  l1.AssignEqual(1, {0, 1, 2});
+  l2.AssignEqual(0, {0, 1});
+  l2.AssignEqual(1, {1, 2});
+  l3.AssignEqual(0, {0, 1});
+  l3.AssignEqual(1, {2});
+  const double c1 = cost_model_.StatementCost(statement_, l1);
+  const double c2 = cost_model_.StatementCost(statement_, l2);
+  const double c3 = cost_model_.StatementCost(statement_, l3);
+  EXPECT_LT(c3, c1);
+  EXPECT_LT(c1, c2);
+}
+
+TEST(CostModelTest, SingleObjectNoSeekCost) {
+  DiskFleet fleet = UnitFleet(4, /*seek_ms=*/100.0);
+  CostModel cm(fleet);
+  StatementProfile s = OneSubplan({ObjectAccess{0, 400, false, false}});
+  Layout l(1, 4);
+  l.AssignEqual(0, {0, 1, 2, 3});
+  // k = 1 on every disk: no seek term at all.
+  EXPECT_NEAR(cm.StatementCost(s, l), 100.0, 1e-9);
+}
+
+TEST(CostModelTest, WriteUsesWriteRate) {
+  DiskFleet fleet = DiskFleet::Uniform(1, 10.0, 1.0, 65.536, 32.768);
+  CostModel cm(fleet);
+  StatementProfile rd = OneSubplan({ObjectAccess{0, 100, false, false}});
+  StatementProfile wr = OneSubplan({ObjectAccess{0, 100, true, false}});
+  Layout l(1, 1);
+  l.AssignEqual(0, {0});
+  EXPECT_NEAR(cm.StatementCost(wr, l), 2 * cm.StatementCost(rd, l), 1e-9);
+}
+
+TEST(CostModelTest, SubplansAreAdditive) {
+  DiskFleet fleet = UnitFleet(2);
+  CostModel cm(fleet);
+  StatementProfile s;
+  SubplanAccess sp1, sp2;
+  sp1.accesses = {ObjectAccess{0, 100, false, false}};
+  sp2.accesses = {ObjectAccess{1, 60, false, false}};
+  s.subplans = {sp1, sp2};
+  Layout l(2, 2);
+  l.AssignEqual(0, {0});
+  l.AssignEqual(1, {1});
+  EXPECT_NEAR(cm.StatementCost(s, l), 100 + 60, 1e-9);
+}
+
+TEST(CostModelTest, WorkloadCostIsWeightedSum) {
+  DiskFleet fleet = UnitFleet(2);
+  CostModel cm(fleet);
+  WorkloadProfile profile;
+  profile.num_objects = 1;
+  profile.statements.push_back(OneSubplan({ObjectAccess{0, 100, false, false}}, 2.0));
+  profile.statements.push_back(OneSubplan({ObjectAccess{0, 100, false, false}}, 0.5));
+  Layout l(1, 2);
+  l.AssignEqual(0, {0});
+  const double one = cm.StatementCost(profile.statements[0], l);
+  EXPECT_NEAR(cm.WorkloadCost(profile, l), 2.5 * one, 1e-9);
+}
+
+TEST(CostModelTest, BottleneckDiskDeterminesSubplanCost) {
+  // Heterogeneous fractions: the slowest-to-finish drive dominates.
+  DiskFleet fleet = UnitFleet(2);
+  CostModel cm(fleet);
+  StatementProfile s = OneSubplan({ObjectAccess{0, 100, false, false}});
+  Layout skewed(1, 2);
+  skewed.set_x(0, 0, 0.9);
+  skewed.set_x(0, 1, 0.1);
+  EXPECT_NEAR(cm.StatementCost(s, skewed), 90.0, 1e-9);
+}
+
+TEST(CostModelTest, FasterDiskGetsProportionallyMoreWithEqualFinish) {
+  // With fractions proportional to transfer rates, all drives finish
+  // together and the cost equals blocks / total rate.
+  DiskFleet fleet;
+  DiskDrive fast, slow;
+  fast.capacity_blocks = slow.capacity_blocks = 100000;
+  fast.seek_ms = slow.seek_ms = 1.0;
+  fast.read_mb_s = 2 * 65.536;  // 0.5 ms/block
+  slow.read_mb_s = 65.536;      // 1 ms/block
+  fleet.Add(fast);
+  fleet.Add(slow);
+  CostModel cm(fleet);
+  StatementProfile s = OneSubplan({ObjectAccess{0, 300, false, false}});
+  Layout l(1, 2);
+  l.AssignProportional(0, {0, 1}, fleet);
+  // 200 blocks at 0.5 ms = 100 ms; 100 blocks at 1 ms = 100 ms.
+  EXPECT_NEAR(cm.StatementCost(s, l), 100.0, 1e-9);
+}
+
+TEST(CostModelTest, SeekTermScalesWithObjectCount) {
+  DiskFleet fleet = UnitFleet(1, /*seek_ms=*/1.0);
+  CostModel cm(fleet);
+  Layout l(3, 1);
+  for (int i = 0; i < 3; ++i) l.AssignEqual(i, {0});
+  StatementProfile two = OneSubplan(
+      {ObjectAccess{0, 100, false, false}, ObjectAccess{1, 100, false, false}});
+  StatementProfile three = OneSubplan({ObjectAccess{0, 100, false, false},
+                                       ObjectAccess{1, 100, false, false},
+                                       ObjectAccess{2, 100, false, false}});
+  // k=2: 300 transfer... two objects: 200 + 2*100 = 400.
+  EXPECT_NEAR(cm.StatementCost(two, l), 400.0, 1e-9);
+  // k=3: 300 + 3*100 = 600.
+  EXPECT_NEAR(cm.StatementCost(three, l), 600.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps.
+// ---------------------------------------------------------------------------
+
+class CostModelPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostModelPropertyTest, SeparationNeverWorseForTwoCoAccessedEqualObjects) {
+  // For two co-accessed objects on identical disks, disjoint placement over
+  // the same number of drives beats co-located placement.
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  DiskFleet fleet = UnitFleet(4, rng.UniformDouble(0.5, 20.0));
+  CostModel cm(fleet);
+  const double b0 = rng.UniformDouble(50, 2000);
+  const double b1 = rng.UniformDouble(50, 2000);
+  StatementProfile s = OneSubplan(
+      {ObjectAccess{0, b0, false, false}, ObjectAccess{1, b1, false, false}});
+  Layout together(2, 4);
+  together.AssignEqual(0, {0, 1});
+  together.AssignEqual(1, {0, 1});
+  Layout apart(2, 4);
+  apart.AssignEqual(0, {0, 1});
+  apart.AssignEqual(1, {2, 3});
+  EXPECT_LE(cm.StatementCost(s, apart), cm.StatementCost(s, together) + 1e-9);
+}
+
+TEST_P(CostModelPropertyTest, WideningSingleObjectNeverHurts) {
+  // A statement scanning one object: adding drives can only reduce cost
+  // (no co-access, identical drives).
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  DiskFleet fleet = UnitFleet(6);
+  CostModel cm(fleet);
+  StatementProfile s =
+      OneSubplan({ObjectAccess{0, rng.UniformDouble(10, 5000), false, false}});
+  double prev = 1e18;
+  for (int width = 1; width <= 6; ++width) {
+    Layout l(1, 6);
+    std::vector<int> disks;
+    for (int j = 0; j < width; ++j) disks.push_back(j);
+    l.AssignEqual(0, disks);
+    const double c = cm.StatementCost(s, l);
+    EXPECT_LE(c, prev + 1e-9) << "width " << width;
+    prev = c;
+  }
+}
+
+TEST_P(CostModelPropertyTest, CostIsNonNegativeAndFiniteOnRandomLayouts) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  DiskFleet fleet = UnitFleet(5);
+  CostModel cm(fleet);
+  const int n = 4;
+  StatementProfile s =
+      OneSubplan({ObjectAccess{0, 100, false, false}, ObjectAccess{1, 10, true, false},
+                  ObjectAccess{2, 55, false, true}, ObjectAccess{3, 1, false, false}});
+  for (int trial = 0; trial < 20; ++trial) {
+    Layout l(n, 5);
+    for (int i = 0; i < n; ++i) {
+      std::vector<int> disks;
+      for (int j = 0; j < 5; ++j) {
+        if (rng.Bernoulli(0.5)) disks.push_back(j);
+      }
+      if (disks.empty()) disks.push_back(0);
+      l.AssignEqual(i, disks);
+    }
+    const double c = cm.StatementCost(s, l);
+    EXPECT_GE(c, 0);
+    EXPECT_TRUE(std::isfinite(c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostModelPropertyTest, ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "sql/ddl.h"
+#include "sql/parser.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+constexpr char kSchema[] = R"(
+-- a comment
+CREATE TABLE t1 (
+  a INT DISTINCT 1000 RANGE 1 1000,
+  b VARCHAR(40),
+  c DATE RANGE '1995-01-01' '1998-12-31',
+  d DECIMAL DISTINCT 500 RANGE -10 10
+) ROWS 1000 CLUSTERED (a);
+
+CREATE TABLE t2 (
+  x BIGINT,
+  y CHAR(8) DISTINCT 12
+) ROWS 50000 CLUSTERED (x);
+
+CREATE INDEX ix_c ON t1 (c) UNIQUE;
+CREATE INDEX ix_y ON t2 (y, x);
+)";
+
+TEST(DdlTest, ParsesFullSchema) {
+  auto db = ParseSchemaScript("testdb", kSchema);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->tables().size(), 2u);
+  EXPECT_EQ(db->indexes().size(), 2u);
+
+  const Table* t1 = db->FindTable("t1");
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->row_count, 1000);
+  EXPECT_EQ(t1->clustered_key, (std::vector<std::string>{"a"}));
+  ASSERT_EQ(t1->columns.size(), 4u);
+  EXPECT_EQ(t1->columns[0].distinct_count, 1000);
+  EXPECT_EQ(t1->columns[1].type, ColumnType::kVarchar);
+  EXPECT_EQ(t1->columns[1].declared_length, 40);
+  EXPECT_EQ(t1->columns[2].type, ColumnType::kDate);
+  EXPECT_DOUBLE_EQ(t1->columns[2].min_value, ParseDateDays("1995-01-01").value());
+  EXPECT_DOUBLE_EQ(t1->columns[3].min_value, -10);
+
+  const Index* ix = db->FindIndex("t1", "ix_c");
+  ASSERT_NE(ix, nullptr);
+  EXPECT_TRUE(ix->unique);
+  const Index* ix2 = db->FindIndex("t2", "ix_y");
+  ASSERT_NE(ix2, nullptr);
+  EXPECT_EQ(ix2->key_columns, (std::vector<std::string>{"y", "x"}));
+}
+
+TEST(DdlTest, DefaultStatistics) {
+  auto db = ParseSchemaScript("d", R"(
+    CREATE TABLE t (k INT, v INT) ROWS 5000 CLUSTERED (k);
+  )");
+  ASSERT_TRUE(db.ok());
+  const Table* t = db->FindTable("t");
+  // Leading clustered key defaults to unique with matching range.
+  EXPECT_EQ(t->columns[0].distinct_count, 5000);
+  EXPECT_DOUBLE_EQ(t->columns[0].max_value, 5000);
+  // Other columns default to min(rows, 100) distinct.
+  EXPECT_EQ(t->columns[1].distinct_count, 100);
+}
+
+TEST(DdlTest, MaterializedView) {
+  auto db = ParseSchemaScript("d", R"(
+    CREATE TABLE mv (k INT) ROWS 10 MATERIALIZED VIEW;
+  )");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->Objects()[0].kind, ObjectKind::kMaterializedView);
+}
+
+TEST(DdlTest, HeapWithoutClustered) {
+  auto db = ParseSchemaScript("d", "CREATE TABLE h (k INT) ROWS 10;");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->Objects()[0].kind, ObjectKind::kHeap);
+}
+
+TEST(DdlTest, Errors) {
+  EXPECT_EQ(ParseSchemaScript("d", "").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseSchemaScript("d", "DROP TABLE t;").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSchemaScript("d", "CREATE TABLE t (k INT);").status().code(),
+            StatusCode::kParseError);  // missing ROWS
+  EXPECT_EQ(ParseSchemaScript("d", "CREATE TABLE t (k FLOAT) ROWS 1;").status().code(),
+            StatusCode::kParseError);  // unknown type
+  EXPECT_EQ(ParseSchemaScript(
+                "d", "CREATE TABLE t (k INT RANGE 10 1) ROWS 5;")
+                .status()
+                .code(),
+            StatusCode::kParseError);  // empty range
+  EXPECT_EQ(ParseSchemaScript(
+                "d", "CREATE TABLE t (k INT RANGE '1995-01-01' '1996-01-01') ROWS 5;")
+                .status()
+                .code(),
+            StatusCode::kParseError);  // date bounds on non-date column
+  EXPECT_EQ(ParseSchemaScript("d", "CREATE INDEX i ON ghost (x);").status().code(),
+            StatusCode::kNotFound);
+  // Duplicate table.
+  EXPECT_EQ(ParseSchemaScript("d",
+                              "CREATE TABLE t (k INT) ROWS 1;"
+                              "CREATE TABLE t (k INT) ROWS 1;")
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DdlTest, DumpSchemaRoundTrips) {
+  auto db = ParseSchemaScript("testdb", kSchema);
+  ASSERT_TRUE(db.ok());
+  const std::string dumped = DumpSchema(db.value());
+  auto again = ParseSchemaScript("testdb", dumped);
+  ASSERT_TRUE(again.ok()) << again.status().ToString() << "\n" << dumped;
+  ASSERT_EQ(again->tables().size(), db->tables().size());
+  for (size_t t = 0; t < db->tables().size(); ++t) {
+    const Table& a = db->tables()[t];
+    const Table& b = again->tables()[t];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.row_count, b.row_count);
+    EXPECT_EQ(a.clustered_key, b.clustered_key);
+    ASSERT_EQ(a.columns.size(), b.columns.size());
+    for (size_t c = 0; c < a.columns.size(); ++c) {
+      EXPECT_EQ(a.columns[c].name, b.columns[c].name);
+      EXPECT_EQ(a.columns[c].type, b.columns[c].type);
+      EXPECT_EQ(a.columns[c].distinct_count, b.columns[c].distinct_count);
+      EXPECT_DOUBLE_EQ(a.columns[c].min_value, b.columns[c].min_value);
+      EXPECT_DOUBLE_EQ(a.columns[c].max_value, b.columns[c].max_value);
+    }
+  }
+  EXPECT_EQ(again->indexes().size(), db->indexes().size());
+  // Derived object sizes agree.
+  EXPECT_EQ(again->ObjectSizes(), db->ObjectSizes());
+}
+
+TEST(DdlTest, ParsedSchemaDrivesTheOptimizer) {
+  auto db = ParseSchemaScript("d", R"(
+    CREATE TABLE big_a (a_k INT, a_p CHAR(100)) ROWS 500000 CLUSTERED (a_k);
+    CREATE TABLE big_b (b_k INT DISTINCT 500000 RANGE 1 500000, b_p CHAR(100))
+      ROWS 400000 CLUSTERED (b_k);
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  Workload wl("w");
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM big_a, big_b WHERE a_k = b_k").ok());
+  auto profile = AnalyzeWorkload(db.value(), wl);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  // Clustered keys on both sides: merge join, one co-access pipeline.
+  ASSERT_EQ(profile->statements[0].subplans.size(), 1u);
+  EXPECT_EQ(profile->statements[0].subplans[0].accesses.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "engine/buffer_pool.h"
+#include "engine/execution_sim.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+
+namespace dblayout {
+namespace {
+
+TEST(BufferPoolTest, ColdAccessMissesEverything) {
+  BufferPool pool(1000, {100, 200});
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 100);
+}
+
+TEST(BufferPoolTest, RepeatedAccessHits) {
+  BufferPool pool(1000, {100, 200});
+  pool.AccessRead(0, 100);
+  // Whole object now resident -> second scan is free.
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 0);
+  EXPECT_DOUBLE_EQ(pool.ResidentBlocks(0), 100);
+}
+
+TEST(BufferPoolTest, PartialResidencyGivesPartialHits) {
+  BufferPool pool(1000, {100});
+  pool.AccessRead(0, 50);  // half resident
+  // Access of 100 blocks: hit fraction = 50/100 -> 50 misses.
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 50);
+}
+
+TEST(BufferPoolTest, CapacityEvictsLru) {
+  BufferPool pool(100, {80, 80, 80});
+  pool.AccessRead(0, 80);
+  pool.AccessRead(1, 80);  // evicts most of object 0
+  EXPECT_DOUBLE_EQ(pool.ResidentBlocks(1), 80);
+  EXPECT_DOUBLE_EQ(pool.ResidentBlocks(0), 20);
+  EXPECT_LE(pool.TotalResident(), 100.0);
+  // Object 0 mostly misses again.
+  EXPECT_GT(pool.AccessRead(0, 80), 50);
+}
+
+TEST(BufferPoolTest, ZeroCapacityDisablesCaching) {
+  BufferPool pool(0, {100});
+  pool.AccessRead(0, 100);
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 100);
+}
+
+TEST(BufferPoolTest, ResetDropsEverything) {
+  BufferPool pool(1000, {100});
+  pool.AccessRead(0, 100);
+  pool.Reset();
+  EXPECT_DOUBLE_EQ(pool.TotalResident(), 0);
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 100);
+}
+
+TEST(BufferPoolTest, WritesPopulateCache) {
+  BufferPool pool(1000, {100});
+  pool.AccessWrite(0, 60);
+  EXPECT_DOUBLE_EQ(pool.ResidentBlocks(0), 60);
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 100), 40);
+}
+
+TEST(BufferPoolTest, AccessLargerThanObjectClamps) {
+  BufferPool pool(1000, {50});
+  EXPECT_DOUBLE_EQ(pool.AccessRead(0, 500), 50);
+}
+
+class ExecutionSimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table a;
+    a.name = "a";
+    a.row_count = 500'000;
+    Column key;
+    key.name = "k";
+    key.type = ColumnType::kInt;
+    key.distinct_count = 500'000;
+    key.min_value = 1;
+    key.max_value = 500'000;
+    Column pay;
+    pay.name = "p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 100;
+    a.columns = {key, pay};
+    a.clustered_key = {"k"};
+    ASSERT_TRUE(db_.AddTable(a).ok());
+    Table b = a;
+    b.name = "b";
+    b.columns[0].name = "k2";
+    b.columns[1].name = "p2";
+    b.clustered_key = {"k2"};
+    ASSERT_TRUE(db_.AddTable(b).ok());
+    fleet_ = DiskFleet::Uniform(4);
+  }
+
+  std::unique_ptr<PlanNode> Plan(const std::string& sql) {
+    Optimizer opt(db_);
+    auto plan = opt.Plan(ParseSql(sql).value());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(plan).value();
+  }
+
+  Database db_{"enginedb"};
+  DiskFleet fleet_;
+};
+
+TEST_F(ExecutionSimTest, ScanFasterWhenStripedWider) {
+  ExecutionOptions opt;
+  opt.cpu_ms_per_block = 0;  // assert on pure I/O parallelism
+  ExecutionSimulator sim(db_, fleet_, opt);
+  auto plan = Plan("SELECT COUNT(*) FROM a");
+  Layout narrow(2, 4);
+  narrow.AssignEqual(0, {0});
+  narrow.AssignEqual(1, {1});
+  Layout wide = Layout::FullStriping(2, fleet_);
+  const double t_narrow = sim.ExecuteStatement(*plan, narrow).value();
+  const double t_wide = sim.ExecuteStatement(*plan, wide).value();
+  EXPECT_LT(t_wide, t_narrow);
+  EXPECT_NEAR(t_narrow / t_wide, 4.0, 0.5);  // ~4x parallelism
+}
+
+TEST_F(ExecutionSimTest, CoAccessedJoinFasterWhenSeparated) {
+  ExecutionSimulator sim(db_, fleet_);
+  auto plan = Plan("SELECT COUNT(*) FROM a, b WHERE k = k2");
+  Layout striped = Layout::FullStriping(2, fleet_);
+  Layout separated(2, 4);
+  separated.AssignEqual(0, {0, 1});
+  separated.AssignEqual(1, {2, 3});
+  const double t_striped = sim.ExecuteStatement(*plan, striped).value();
+  const double t_sep = sim.ExecuteStatement(*plan, separated).value();
+  EXPECT_LT(t_sep, t_striped);
+}
+
+TEST_F(ExecutionSimTest, RepeatedAccessWithinStatementIsCached) {
+  // Self-join reads `a` twice in one pipeline; the merge-join streams are
+  // concurrent so both cold, but a three-way self-join's later pipelines...
+  // Simplest observable: execute same plan twice without cold reset.
+  ExecutionOptions opt;
+  opt.cold_start_per_statement = false;
+  opt.buffer_pool_blocks = 1'000'000;  // everything fits
+  opt.cpu_ms_per_block = 0;            // isolate the caching effect
+  ExecutionSimulator sim(db_, fleet_, opt);
+  auto plan = Plan("SELECT COUNT(*) FROM a");
+  const double t1 = sim.ExecuteStatement(*plan, Layout::FullStriping(2, fleet_)).value();
+  const double t2 = sim.ExecuteStatement(*plan, Layout::FullStriping(2, fleet_)).value();
+  EXPECT_GT(t1, 0);
+  EXPECT_DOUBLE_EQ(t2, 0);  // fully cached
+}
+
+TEST_F(ExecutionSimTest, ColdStartResetsBetweenStatements) {
+  ExecutionSimulator sim(db_, fleet_);  // cold_start_per_statement = true
+  auto plan = Plan("SELECT COUNT(*) FROM a");
+  Layout striped = Layout::FullStriping(2, fleet_);
+  const double t1 = sim.ExecuteStatement(*plan, striped).value();
+  const double t2 = sim.ExecuteStatement(*plan, striped).value();
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_GT(t2, 0);
+}
+
+TEST_F(ExecutionSimTest, WeightsScaleWorkloadTime) {
+  ExecutionSimulator sim(db_, fleet_);
+  auto plan = Plan("SELECT COUNT(*) FROM a");
+  Layout striped = Layout::FullStriping(2, fleet_);
+  const double t1 =
+      sim.ExecutePlans({WeightedPlan{plan.get(), 1.0}}, striped).value();
+  const double t3 =
+      sim.ExecutePlans({WeightedPlan{plan.get(), 3.0}}, striped).value();
+  EXPECT_NEAR(t3, 3 * t1, 1e-6);
+}
+
+TEST_F(ExecutionSimTest, RejectsMismatchedLayout) {
+  ExecutionSimulator sim(db_, fleet_);
+  auto plan = Plan("SELECT COUNT(*) FROM a");
+  Layout wrong(1, 4);  // db has 2 objects
+  wrong.AssignEqual(0, {0});
+  EXPECT_FALSE(sim.ExecuteStatement(*plan, wrong).ok());
+}
+
+TEST_F(ExecutionSimTest, NullPlanRejected) {
+  ExecutionSimulator sim(db_, fleet_);
+  EXPECT_EQ(sim.ExecutePlans({WeightedPlan{nullptr, 1.0}},
+                             Layout::FullStriping(2, fleet_))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dblayout

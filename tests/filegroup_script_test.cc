@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "layout/filegroup_script.h"
+
+namespace dblayout {
+namespace {
+
+Database ScriptDb() {
+  Database db("shopdb");
+  Table t;
+  t.name = "orders";
+  t.row_count = 100'000;
+  Column k;
+  k.name = "o_id";
+  k.type = ColumnType::kInt;
+  k.distinct_count = 100'000;
+  Column pay;
+  pay.name = "o_pay";
+  pay.type = ColumnType::kChar;
+  pay.declared_length = 100;
+  t.columns = {k, pay};
+  t.clustered_key = {"o_id"};
+  EXPECT_TRUE(db.AddTable(t).ok());
+  Table heap = t;
+  heap.name = "staging";
+  heap.columns[0].name = "s_id";
+  heap.columns[1].name = "s_pay";
+  heap.clustered_key.clear();
+  EXPECT_TRUE(db.AddTable(heap).ok());
+  EXPECT_TRUE(db.AddIndex(Index{"ix_pay", "orders", {"o_pay"}, false}).ok());
+  return db;
+}
+
+TEST(FilegroupScriptTest, EmitsFilegroupsFilesAndMoves) {
+  Database db = ScriptDb();
+  DiskFleet fleet = DiskFleet::Uniform(3);
+  Layout layout(3, 3);
+  layout.AssignEqual(0, {0, 1});  // orders
+  layout.AssignEqual(1, {2});     // staging
+  layout.AssignEqual(2, {2});     // orders.ix_pay
+  const std::string script = GenerateFilegroupScript(layout, db, fleet);
+
+  EXPECT_NE(script.find("ADD FILEGROUP [FG1]"), std::string::npos);
+  EXPECT_NE(script.find("ADD FILEGROUP [FG2]"), std::string::npos);
+  EXPECT_EQ(script.find("ADD FILEGROUP [FG3]"), std::string::npos)
+      << "staging and ix_pay share one filegroup";
+  // One file per member drive.
+  EXPECT_NE(script.find("NAME = 'FG1_D1'"), std::string::npos);
+  EXPECT_NE(script.find("NAME = 'FG1_D2'"), std::string::npos);
+  EXPECT_NE(script.find("NAME = 'FG2_D3'"), std::string::npos);
+  // Moves: clustered rebuild, heap comment, index rebuild.
+  EXPECT_NE(script.find("CREATE CLUSTERED INDEX [cix_orders] ON [orders] (o_id)"),
+            std::string::npos);
+  EXPECT_NE(script.find("move heap/view [staging]"), std::string::npos);
+  EXPECT_NE(script.find("CREATE INDEX [ix_pay] ON [orders] (o_pay)"),
+            std::string::npos);
+  EXPECT_NE(script.find("[shopdb]"), std::string::npos);
+}
+
+TEST(FilegroupScriptTest, FileSizesCoverAssignedBlocksWithHeadroom) {
+  Database db = ScriptDb();
+  DiskFleet fleet = DiskFleet::Uniform(2);
+  Layout layout = Layout::FullStriping(3, fleet);
+  FilegroupScriptOptions opt;
+  opt.headroom = 0.5;
+  const std::string script = GenerateFilegroupScript(layout, db, fleet, opt);
+  // Total db size ~ orders(100k x 110B ~ 11MB) + staging + index; each of
+  // the 2 files covers half x 1.5 headroom. Just assert a plausible SIZE
+  // appears and is not zero.
+  const size_t pos = script.find("SIZE = ");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(script.find("SIZE = 0MB"), std::string::npos);
+}
+
+TEST(FilegroupScriptTest, PathTemplateSubstitution) {
+  Database db = ScriptDb();
+  DiskFleet fleet = DiskFleet::Uniform(1);
+  Layout layout = Layout::FullStriping(3, fleet);
+  FilegroupScriptOptions opt;
+  opt.path_template = "/mnt/{disk}/{file}.dat";
+  const std::string script = GenerateFilegroupScript(layout, db, fleet, opt);
+  EXPECT_NE(script.find("FILENAME = '/mnt/D1/FG1_D1.dat'"), std::string::npos);
+}
+
+TEST(FilegroupScriptTest, InvalidLayoutProducesErrorComment) {
+  Database db = ScriptDb();
+  DiskFleet fleet = DiskFleet::Uniform(2);
+  Layout bad(3, 2);  // rows all zero: invalid
+  const std::string script = GenerateFilegroupScript(bad, db, fleet);
+  EXPECT_NE(script.find("-- cannot generate script"), std::string::npos);
+  EXPECT_EQ(script.find("ALTER DATABASE"), std::string::npos);
+}
+
+TEST(FilegroupScriptTest, DatabaseNameOverride) {
+  Database db = ScriptDb();
+  DiskFleet fleet = DiskFleet::Uniform(1);
+  Layout layout = Layout::FullStriping(3, fleet);
+  FilegroupScriptOptions opt;
+  opt.database_name = "prod_copy";
+  const std::string script = GenerateFilegroupScript(layout, db, fleet, opt);
+  EXPECT_NE(script.find("[prod_copy]"), std::string::npos);
+  EXPECT_EQ(script.find("[shopdb]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/partition.h"
+#include "graph/weighted_graph.h"
+
+namespace dblayout {
+namespace {
+
+TEST(WeightedGraphTest, NodeAndEdgeAccumulation) {
+  WeightedGraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  g.AddNodeWeight(0, 5);
+  g.AddNodeWeight(0, 2);
+  EXPECT_DOUBLE_EQ(g.node_weight(0), 7);
+  g.AddEdgeWeight(0, 1, 10);
+  g.AddEdgeWeight(1, 0, 4);  // symmetric accumulation
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 14);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 14);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(WeightedGraphTest, SelfLoopIgnored) {
+  WeightedGraph g(2);
+  g.AddEdgeWeight(1, 1, 100);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 0);
+}
+
+TEST(WeightedGraphTest, AddNodeGrows) {
+  WeightedGraph g;
+  EXPECT_EQ(g.AddNode(3.0), 0u);
+  EXPECT_EQ(g.AddNode(), 1u);
+  EXPECT_DOUBLE_EQ(g.TotalNodeWeight(), 3.0);
+}
+
+TEST(WeightedGraphTest, TotalEdgeWeightCountsEachEdgeOnce) {
+  WeightedGraph g(4);
+  g.AddEdgeWeight(0, 1, 3);
+  g.AddEdgeWeight(2, 3, 4);
+  EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 7);
+}
+
+TEST(PartitionTest, CutWeightBasics) {
+  WeightedGraph g(4);
+  g.AddEdgeWeight(0, 1, 10);
+  g.AddEdgeWeight(2, 3, 20);
+  Partitioning same = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(CutWeight(g, same), 0);
+  EXPECT_DOUBLE_EQ(InternalWeight(g, same), 30);
+  Partitioning split = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(CutWeight(g, split), 30);
+  EXPECT_DOUBLE_EQ(InternalWeight(g, split), 0);
+}
+
+TEST(PartitionTest, TwoCliquesAreSeparatedAcrossPartitions) {
+  // Two co-access pairs (heavy edges) must end up cut.
+  WeightedGraph g(4);
+  g.AddEdgeWeight(0, 1, 100);  // pair 1
+  g.AddEdgeWeight(2, 3, 100);  // pair 2
+  PartitionOptions opt;
+  opt.num_partitions = 2;
+  Partitioning p = MaxCutPartition(g, opt);
+  EXPECT_NE(p[0], p[1]);
+  EXPECT_NE(p[2], p[3]);
+}
+
+TEST(PartitionTest, TriangleWithThreePartitionsFullyCut) {
+  WeightedGraph g(3);
+  g.AddEdgeWeight(0, 1, 5);
+  g.AddEdgeWeight(1, 2, 5);
+  g.AddEdgeWeight(0, 2, 5);
+  PartitionOptions opt;
+  opt.num_partitions = 3;
+  Partitioning p = MaxCutPartition(g, opt);
+  EXPECT_DOUBLE_EQ(CutWeight(g, p), 15);
+}
+
+TEST(PartitionTest, SinglePartitionPutsEverythingTogether) {
+  WeightedGraph g(5);
+  g.AddEdgeWeight(0, 4, 3);
+  PartitionOptions opt;
+  opt.num_partitions = 1;
+  Partitioning p = MaxCutPartition(g, opt);
+  for (int part : p) EXPECT_EQ(part, 0);
+}
+
+TEST(PartitionTest, EmptyGraph) {
+  WeightedGraph g(0);
+  PartitionOptions opt;
+  opt.num_partitions = 4;
+  EXPECT_TRUE(MaxCutPartition(g, opt).empty());
+}
+
+TEST(PartitionTest, CoLocationConstraintKeepsGroupTogether) {
+  WeightedGraph g(4);
+  // Heavy edge 0-1 wants them apart, but they are constrained together.
+  g.AddEdgeWeight(0, 1, 1000);
+  g.AddEdgeWeight(2, 3, 10);
+  PartitionOptions opt;
+  opt.num_partitions = 4;
+  opt.must_co_locate = {{0, 1}};
+  Partitioning p = MaxCutPartition(g, opt);
+  EXPECT_EQ(p[0], p[1]);
+  EXPECT_NE(p[2], p[3]);
+}
+
+TEST(PartitionTest, PartitionIdsInRange) {
+  Rng rng(3);
+  WeightedGraph g(20);
+  for (int e = 0; e < 60; ++e) {
+    g.AddEdgeWeight(rng.Index(20), rng.Index(20), rng.UniformDouble(1, 50));
+  }
+  PartitionOptions opt;
+  opt.num_partitions = 5;
+  Partitioning p = MaxCutPartition(g, opt);
+  ASSERT_EQ(p.size(), 20u);
+  for (int part : p) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 5);
+  }
+}
+
+/// Property sweep: the heuristic's cut must never be worse than the expected
+/// cut of a uniform random partition, (1 - 1/p) * total edge weight.
+class MaxCutPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxCutPropertyTest, BeatsRandomPartitionBaseline) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const size_t n = 5 + rng.Index(25);
+  const int p = 2 + static_cast<int>(rng.Index(6));
+  WeightedGraph g(n);
+  const int edges = static_cast<int>(n * 2);
+  for (int e = 0; e < edges; ++e) {
+    g.AddEdgeWeight(rng.Index(n), rng.Index(n), rng.UniformDouble(1, 100));
+  }
+  PartitionOptions opt;
+  opt.num_partitions = p;
+  Partitioning part = MaxCutPartition(g, opt);
+  const double cut = CutWeight(g, part);
+  const double random_expectation =
+      g.TotalEdgeWeight() * (1.0 - 1.0 / static_cast<double>(p));
+  EXPECT_GE(cut, random_expectation - 1e-9)
+      << "n=" << n << " p=" << p << " total=" << g.TotalEdgeWeight();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxCutPropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,170 @@
+// Tests for histogram statistics: the Histogram type, histogram-aware
+// selectivity estimation, DDL round-trips, and the end-to-end effect on
+// access-path choice.
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "optimizer/selectivity.h"
+#include "sql/ddl.h"
+#include "sql/parser.h"
+
+namespace dblayout {
+namespace {
+
+TEST(HistogramTest, FractionBelowUniform) {
+  Histogram h;
+  h.fractions = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 0), 0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 25), 0.25);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 50), 0.5);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 100), 1.0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 12.5), 0.125);  // interpolated
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, -5), 0);
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 200), 1);
+}
+
+TEST(HistogramTest, SkewedDistribution) {
+  Histogram h;
+  h.fractions = {0.7, 0.1, 0.1, 0.1};
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 25), 0.7);
+  EXPECT_NEAR(h.FractionBetween(0, 100, 25, 100), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(h.BucketFraction(0, 100, 10), 0.7);
+  EXPECT_DOUBLE_EQ(h.BucketFraction(0, 100, 90), 0.1);
+}
+
+TEST(HistogramTest, UnnormalizedFractionsAreNormalized) {
+  Histogram h;
+  h.fractions = {7, 1, 1, 1};  // same shape as above, unnormalized
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 25), 0.7);
+}
+
+TEST(HistogramTest, EmptyAndDegenerate) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 50), 0);
+  h.fractions = {0, 0};
+  EXPECT_DOUBLE_EQ(h.FractionBelow(0, 100, 50), 0);
+  h.fractions = {1.0};
+  EXPECT_DOUBLE_EQ(h.FractionBelow(5, 5, 5), 0);  // zero-width domain
+}
+
+Column SkewedColumn() {
+  Column c;
+  c.name = "v";
+  c.type = ColumnType::kDouble;
+  c.distinct_count = 1000;
+  c.min_value = 0;
+  c.max_value = 100;
+  c.histogram.fractions = {0.7, 0.1, 0.1, 0.1};
+  return c;
+}
+
+TEST(HistogramTest, RangeSelectivityFollowsHistogram) {
+  Column c = SkewedColumn();
+  Predicate p;
+  p.kind = Predicate::Kind::kCompareLiteral;
+  p.op = CompareOp::kLt;
+  p.rhs_literal.number = 25;
+  // Uniform assumption would say 0.25; the histogram says 0.7.
+  EXPECT_NEAR(PredicateSelectivity(p, &c), 0.7, 1e-9);
+  p.op = CompareOp::kGe;
+  EXPECT_NEAR(PredicateSelectivity(p, &c), 0.3, 1e-6);
+}
+
+TEST(HistogramTest, BetweenSelectivityFollowsHistogram) {
+  Column c = SkewedColumn();
+  Predicate p;
+  p.kind = Predicate::Kind::kBetween;
+  p.between_lo.number = 25;
+  p.between_hi.number = 75;
+  // Uniform would say 0.5; histogram mass of buckets 2-3 is 0.2.
+  EXPECT_NEAR(PredicateSelectivity(p, &c), 0.2, 1e-9);
+}
+
+TEST(HistogramTest, EqualityUsesBucketDensity) {
+  Column c = SkewedColumn();
+  Predicate p;
+  p.kind = Predicate::Kind::kCompareLiteral;
+  p.op = CompareOp::kEq;
+  p.rhs_literal.number = 10;  // hot bucket
+  const double hot = PredicateSelectivity(p, &c);
+  p.rhs_literal.number = 90;  // cold bucket
+  const double cold = PredicateSelectivity(p, &c);
+  EXPECT_GT(hot, cold);
+  // 250 distinct values per bucket: hot = 0.7/250, cold = 0.1/250.
+  EXPECT_NEAR(hot, 0.7 / 250, 1e-9);
+  EXPECT_NEAR(cold, 0.1 / 250, 1e-9);
+}
+
+TEST(HistogramTest, DdlParsesAndRoundTrips) {
+  auto db = ParseSchemaScript("d", R"(
+    CREATE TABLE t (
+      k INT,
+      v DOUBLE DISTINCT 1000 RANGE 0 100 HISTOGRAM (0.7, 0.1, 0.1, 0.1)
+    ) ROWS 10000 CLUSTERED (k);
+  )");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const Column* v = db->FindTable("t")->FindColumn("v");
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->histogram.buckets(), 4u);
+  EXPECT_DOUBLE_EQ(v->histogram.fractions[0], 0.7);
+
+  auto again = ParseSchemaScript("d", DumpSchema(db.value()));
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  const Column* v2 = again->FindTable("t")->FindColumn("v");
+  ASSERT_EQ(v2->histogram.buckets(), 4u);
+  EXPECT_DOUBLE_EQ(v2->histogram.fractions[0], 0.7);
+}
+
+TEST(HistogramTest, DdlRejectsNegativeFraction) {
+  EXPECT_EQ(ParseSchemaScript("d", R"(
+    CREATE TABLE t (v DOUBLE HISTOGRAM (0.5, -0.1)) ROWS 10;
+  )")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(HistogramTest, SkewChangesAccessPathChoice) {
+  // On a skewed column, a range predicate over the cold region is selective
+  // enough for an index path, while the same-width range over the hot
+  // region forces a scan. Under the uniform assumption both look alike.
+  Database db("d");
+  Table t;
+  t.name = "t";
+  t.row_count = 2'000'000;
+  Column k;
+  k.name = "k";
+  k.type = ColumnType::kInt;
+  k.distinct_count = 2'000'000;
+  k.min_value = 1;
+  k.max_value = 2'000'000;
+  Column v = SkewedColumn();
+  v.histogram.fractions = {0.9985, 0.0005, 0.0005, 0.0005};
+  Column pay;
+  pay.name = "pay";
+  pay.type = ColumnType::kChar;
+  pay.declared_length = 120;
+  t.columns = {k, v, pay};
+  t.clustered_key = {"k"};
+  ASSERT_TRUE(db.AddTable(t).ok());
+  ASSERT_TRUE(db.AddIndex(Index{"ix_v", "t", {"v"}, false}).ok());
+
+  Optimizer opt(db);
+  auto count_op = [](const PlanNode& n, PlanOp op, auto&& self) -> int {
+    int c = n.op == op ? 1 : 0;
+    for (const auto& ch : n.children) c += self(*ch, op, self);
+    return c;
+  };
+  auto hot = opt.Plan(ParseSql("SELECT * FROM t WHERE v < 20").value());
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(count_op(**hot, PlanOp::kIndexSeek, count_op), 0) << "hot range must scan";
+  auto cold = opt.Plan(ParseSql("SELECT * FROM t WHERE v > 80").value());
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(count_op(**cold, PlanOp::kIndexSeek, count_op), 1)
+      << "cold range should use the index";
+}
+
+}  // namespace
+}  // namespace dblayout

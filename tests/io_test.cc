@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "io/disk_sim.h"
+
+namespace dblayout {
+namespace {
+
+DiskDrive MakeDisk(double seek_ms = 10.0, double read_mb_s = 65.536,
+                   double write_mb_s = 32.768) {
+  DiskDrive d;
+  d.name = "d";
+  d.capacity_blocks = 1'000'000;
+  d.seek_ms = seek_ms;
+  d.read_mb_s = read_mb_s;    // 65.536 MB/s -> exactly 1 ms per 64 KiB block
+  d.write_mb_s = write_mb_s;  // 32.768 MB/s -> exactly 2 ms per block
+  return d;
+}
+
+TEST(DiskSimTest, EmptyStreams) {
+  EXPECT_DOUBLE_EQ(SimulateDiskStreams(MakeDisk(), {}), 0);
+  EXPECT_DOUBLE_EQ(SimulateDiskStreams(MakeDisk(), {{0, false, false}}), 0);
+}
+
+TEST(DiskSimTest, SingleSequentialStreamIsSeekPlusTransfer) {
+  const double t = SimulateDiskStreams(MakeDisk(), {{100, false, false}});
+  EXPECT_DOUBLE_EQ(t, 10.0 + 100.0);
+}
+
+TEST(DiskSimTest, WriteUsesWriteRate) {
+  const double t = SimulateDiskStreams(MakeDisk(), {{100, false, true}});
+  EXPECT_DOUBLE_EQ(t, 10.0 + 200.0);
+}
+
+TEST(DiskSimTest, RandomStreamPaysSeekPerBlock) {
+  const double t = SimulateDiskStreams(MakeDisk(), {{50, true, false}});
+  EXPECT_DOUBLE_EQ(t, 50 * (10.0 + 1.0));
+}
+
+TEST(DiskSimTest, TwoStreamsInterleaveWithSeeks) {
+  SimOptions opt;
+  opt.prefetch_blocks = 1;
+  // Two equal sequential streams of 100 blocks, chunk 1: the head switches
+  // on every block: 200 switches (one per serviced chunk).
+  const double t =
+      SimulateDiskStreams(MakeDisk(), {{100, false, false}, {100, false, false}}, opt);
+  EXPECT_DOUBLE_EQ(t, 200.0 /*transfer*/ + 200 * 10.0 /*seeks*/);
+}
+
+TEST(DiskSimTest, PrefetchAmortizesSeeks) {
+  SimOptions chunky;
+  chunky.prefetch_blocks = 10;
+  const double coarse = SimulateDiskStreams(
+      MakeDisk(), {{100, false, false}, {100, false, false}}, chunky);
+  SimOptions fine;
+  fine.prefetch_blocks = 1;
+  const double tight = SimulateDiskStreams(
+      MakeDisk(), {{100, false, false}, {100, false, false}}, fine);
+  EXPECT_LT(coarse, tight);
+  // Transfer time is identical; only seeks differ (10x fewer switches).
+  EXPECT_NEAR(coarse, 200.0 + 20 * 10.0, 1e-9);
+}
+
+TEST(DiskSimTest, ProportionalPacingFinishesTogether) {
+  // A 1000-block stream co-accessed with a 10-block stream: the small one
+  // should be spread over the big one's lifetime (quantum scaled), giving
+  // ~2 switches per small-stream chunk rather than the small stream
+  // finishing immediately.
+  SimOptions opt;
+  opt.prefetch_blocks = 1;
+  const double t = SimulateDiskStreams(
+      MakeDisk(), {{1000, false, false}, {10, false, false}}, opt);
+  // Transfer = 1010; switches ~ 2 * 10 = 20 seeks.
+  EXPECT_NEAR(t, 1010.0 + 20 * 10.0, 3 * 10.0);
+}
+
+TEST(DiskSimTest, CoAccessCostsMoreThanSeparateOnOneDisk) {
+  // Fundamental premise of the paper: two objects interleaved on one drive
+  // cost more than the same blocks read back-to-back.
+  const std::vector<DiskStream> together = {{500, false, false}, {500, false, false}};
+  const double co = SimulateDiskStreams(MakeDisk(), together);
+  const double solo = SimulateDiskStreams(MakeDisk(), {{500, false, false}}) +
+                      SimulateDiskStreams(MakeDisk(), {{500, false, false}});
+  EXPECT_GT(co, solo);
+}
+
+TEST(DiskSimTest, FasterDiskFinishesSooner) {
+  DiskDrive slow = MakeDisk(10.0, 30.0);
+  DiskDrive fast = MakeDisk(10.0, 60.0);
+  const std::vector<DiskStream> s = {{1000, false, false}};
+  EXPECT_GT(SimulateDiskStreams(slow, s), SimulateDiskStreams(fast, s));
+}
+
+TEST(DiskSimTest, PipelineTakesMaxOverDisks) {
+  DiskFleet fleet = DiskFleet::Uniform(3, 1.0, 10.0, 65.536, 65.536);
+  std::vector<std::vector<DiskStream>> per_disk(3);
+  per_disk[0] = {{100, false, false}};  // 110 ms
+  per_disk[1] = {{500, false, false}};  // 510 ms <- bottleneck
+  per_disk[2] = {};
+  EXPECT_DOUBLE_EQ(SimulatePipeline(fleet, per_disk), 510.0);
+}
+
+TEST(DiskSimTest, MixedRandomAndSequential) {
+  // Random stream cost adds to the sequential interleave cost.
+  const double seq_only =
+      SimulateDiskStreams(MakeDisk(), {{100, false, false}});
+  const double with_random =
+      SimulateDiskStreams(MakeDisk(), {{100, false, false}, {20, true, false}});
+  EXPECT_DOUBLE_EQ(with_random - seq_only, 20 * (10.0 + 1.0));
+}
+
+/// Property sweep over stream sizes. Note that time is *not* monotone in
+/// one stream of an interleaved pair (a larger stream earns longer
+/// sequential runs under proportional pacing), so the properties below are
+/// the ones that actually hold.
+class DiskSimMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiskSimMonotoneTest, SingleStreamMonotone) {
+  const int64_t n = GetParam();
+  const DiskDrive d = MakeDisk();
+  EXPECT_LE(SimulateDiskStreams(d, {{n, false, false}}),
+            SimulateDiskStreams(d, {{n + 25, false, false}}) + 1e-9);
+}
+
+TEST_P(DiskSimMonotoneTest, EqualPairScalesMonotonically) {
+  const int64_t n = GetParam();
+  const DiskDrive d = MakeDisk();
+  const double small =
+      SimulateDiskStreams(d, {{n, false, false}, {n, false, false}});
+  const double large =
+      SimulateDiskStreams(d, {{n + 25, false, false}, {n + 25, false, false}});
+  EXPECT_LE(small, large + 1e-9);
+}
+
+TEST_P(DiskSimMonotoneTest, CoAccessNeverCheaperThanBackToBack) {
+  const int64_t n = GetParam();
+  const DiskDrive d = MakeDisk();
+  const double together =
+      SimulateDiskStreams(d, {{n, false, false}, {50, false, false}});
+  const double apart = SimulateDiskStreams(d, {{n, false, false}}) +
+                       SimulateDiskStreams(d, {{50, false, false}});
+  EXPECT_GE(together, apart - 2 * d.seek_ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DiskSimMonotoneTest,
+                         ::testing::Values(1, 5, 10, 50, 100, 500, 1000, 5000));
+
+}  // namespace
+}  // namespace dblayout

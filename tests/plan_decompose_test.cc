@@ -1,0 +1,160 @@
+// Direct tests of the non-blocking sub-plan decomposition (Fig. 6's
+// pre-processing) on hand-built plan trees, including the exact shape of
+// the paper's Example 3: a left-deep join tree with a blocking sort in the
+// middle, which splits the referenced tables into two co-access groups.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optimizer/plan.h"
+
+namespace dblayout {
+namespace {
+
+std::unique_ptr<PlanNode> Leaf(int object_id, double blocks, bool write = false,
+                               bool random = false) {
+  auto node = std::make_unique<PlanNode>(PlanOp::kTableScan);
+  node->object_id = object_id;
+  node->object_name = "R" + std::to_string(object_id);
+  node->blocks_accessed = blocks;
+  node->is_write = write;
+  node->random_access = random;
+  return node;
+}
+
+std::unique_ptr<PlanNode> Join(PlanOp op, std::unique_ptr<PlanNode> l,
+                               std::unique_ptr<PlanNode> r) {
+  auto node = std::make_unique<PlanNode>(op);
+  node->AddChild(std::move(l));
+  node->AddChild(std::move(r));
+  return node;
+}
+
+/// Set of object ids in one subplan.
+std::multiset<int> Objects(const SubplanAccess& sp) {
+  std::multiset<int> out;
+  for (const auto& a : sp.accesses) out.insert(a.object_id);
+  return out;
+}
+
+TEST(DecomposeTest, SingleLeaf) {
+  auto plan = Leaf(0, 100);
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 1u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{0}));
+}
+
+TEST(DecomposeTest, MergeJoinIsOnePipeline) {
+  auto plan = Join(PlanOp::kMergeJoin, Leaf(0, 100), Leaf(1, 50));
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 1u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{0, 1}));
+}
+
+TEST(DecomposeTest, NestedLoopsIsOnePipeline) {
+  auto plan = Join(PlanOp::kNestedLoopsJoin, Leaf(0, 100), Leaf(1, 50));
+  EXPECT_EQ(DecomposeIntoSubplans(*plan).size(), 1u);
+}
+
+TEST(DecomposeTest, HashJoinCutsBuildSide) {
+  auto plan = Join(PlanOp::kHashJoin, Leaf(0, 100) /*build*/, Leaf(1, 50) /*probe*/);
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 2u);
+  // Probe stays in the root pipeline (emitted first), build gets its own.
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{1}));
+  EXPECT_EQ(Objects(subplans[1]), (std::multiset<int>{0}));
+}
+
+TEST(DecomposeTest, SortCutsItsInput) {
+  auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+  sort->AddChild(Join(PlanOp::kMergeJoin, Leaf(0, 100), Leaf(1, 50)));
+  auto subplans = DecomposeIntoSubplans(*sort);
+  ASSERT_EQ(subplans.size(), 1u);  // the sort's consumer side has no I/O
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{0, 1}));
+}
+
+TEST(DecomposeTest, Example3LeftDeepTreeWithBlockingSort) {
+  // Paper's Example 3 (TPC-H Q5): nation, region, customer, orders are
+  // joined in a pipelined left-deep subtree; a blocking Sort then feeds the
+  // join with lineitem and supplier. The decomposition must produce exactly
+  // two co-access groups with no pair across them.
+  // Objects: 0=nation 1=region 2=customer 3=orders 4=lineitem 5=supplier.
+  auto lower = Join(
+      PlanOp::kNestedLoopsJoin,
+      Join(PlanOp::kNestedLoopsJoin,
+           Join(PlanOp::kMergeJoin, Leaf(0, 1), Leaf(1, 1)), Leaf(2, 353)),
+      Leaf(3, 2647));
+  auto sort = std::make_unique<PlanNode>(PlanOp::kSort);
+  sort->AddChild(std::move(lower));
+  auto upper = Join(PlanOp::kMergeJoin,
+                    Join(PlanOp::kMergeJoin, std::move(sort), Leaf(4, 14020)),
+                    Leaf(5, 23));
+  auto subplans = DecomposeIntoSubplans(*upper);
+  ASSERT_EQ(subplans.size(), 2u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{4, 5}));
+  EXPECT_EQ(Objects(subplans[1]), (std::multiset<int>{0, 1, 2, 3}));
+}
+
+TEST(DecomposeTest, HashAggregateCutsInput) {
+  auto agg = std::make_unique<PlanNode>(PlanOp::kHashAggregate);
+  agg->AddChild(Leaf(0, 100));
+  auto top = Join(PlanOp::kNestedLoopsJoin, std::move(agg), Leaf(1, 50));
+  auto subplans = DecomposeIntoSubplans(*top);
+  ASSERT_EQ(subplans.size(), 2u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{1}));
+  EXPECT_EQ(Objects(subplans[1]), (std::multiset<int>{0}));
+}
+
+TEST(DecomposeTest, SelfJoinKeepsBothAccesses) {
+  auto plan = Join(PlanOp::kMergeJoin, Leaf(7, 100), Leaf(7, 100));
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 1u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{7, 7}));
+}
+
+TEST(DecomposeTest, ZeroBlockAccessesDropped) {
+  auto plan = Join(PlanOp::kMergeJoin, Leaf(0, 0), Leaf(1, 50));
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 1u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{1}));
+}
+
+TEST(DecomposeTest, EmptyPipelinesDropped) {
+  auto top = std::make_unique<PlanNode>(PlanOp::kTop);
+  top->AddChild(std::make_unique<PlanNode>(PlanOp::kStreamAggregate));
+  EXPECT_TRUE(DecomposeIntoSubplans(*top).empty());
+}
+
+TEST(DecomposeTest, WriteAndRmwFlagsPropagate) {
+  auto write = Leaf(3, 40, /*write=*/true, /*random=*/true);
+  write->read_modify_write = true;
+  auto subplans = DecomposeIntoSubplans(*write);
+  ASSERT_EQ(subplans.size(), 1u);
+  ASSERT_EQ(subplans[0].accesses.size(), 1u);
+  EXPECT_TRUE(subplans[0].accesses[0].is_write);
+  EXPECT_TRUE(subplans[0].accesses[0].random);
+  EXPECT_TRUE(subplans[0].accesses[0].read_modify_write);
+}
+
+TEST(DecomposeTest, DeepHashJoinChainEachBuildCut) {
+  // HJ(HJ(HJ(b0, p0), p1), p2): three builds, one probe pipeline.
+  auto plan = Join(PlanOp::kHashJoin,
+                   Join(PlanOp::kHashJoin,
+                        Join(PlanOp::kHashJoin, Leaf(0, 10), Leaf(1, 20)),
+                        Leaf(2, 30)),
+                   Leaf(3, 40));
+  auto subplans = DecomposeIntoSubplans(*plan);
+  ASSERT_EQ(subplans.size(), 4u);
+  EXPECT_EQ(Objects(subplans[0]), (std::multiset<int>{3}));
+  // The nested builds each land in their own group.
+  std::multiset<int> rest;
+  for (size_t i = 1; i < subplans.size(); ++i) {
+    ASSERT_EQ(subplans[i].accesses.size(), 1u);
+    rest.insert(subplans[i].accesses[0].object_id);
+  }
+  EXPECT_EQ(rest, (std::multiset<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dblayout

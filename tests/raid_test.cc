@@ -1,0 +1,164 @@
+// Tests for the redundancy (RAID) write-penalty model and the
+// read-modify-write access kind used by in-place DML.
+
+#include <gtest/gtest.h>
+
+#include "io/disk_sim.h"
+#include "layout/advisor.h"
+#include "layout/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "sql/parser.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+TEST(RaidTest, WritePenaltyByLevel) {
+  DiskDrive d;
+  d.write_mb_s = 65.536;  // 1 ms per block raw
+  d.avail = Availability::kNone;
+  EXPECT_DOUBLE_EQ(d.WritePenalty(), 1.0);
+  EXPECT_DOUBLE_EQ(d.WriteMsPerBlock(), 1.0);
+  d.avail = Availability::kMirroring;
+  EXPECT_DOUBLE_EQ(d.WritePenalty(), 2.0);
+  EXPECT_DOUBLE_EQ(d.WriteMsPerBlock(), 2.0);
+  d.avail = Availability::kParity;
+  EXPECT_DOUBLE_EQ(d.WritePenalty(), 4.0);
+  EXPECT_DOUBLE_EQ(d.WriteMsPerBlock(), 4.0);
+  // Reads are unaffected.
+  d.read_mb_s = 65.536;
+  EXPECT_DOUBLE_EQ(d.ReadMsPerBlock(), 1.0);
+}
+
+TEST(RaidTest, CostModelChargesRmwBothPasses) {
+  DiskFleet fleet = DiskFleet::Uniform(1, 10.0, /*seek=*/1.0,
+                                       /*read=*/65.536, /*write=*/32.768);
+  const CostModel cm(fleet);
+  Layout l(1, 1);
+  l.AssignEqual(0, {0});
+
+  auto one = [&](bool write, bool rmw) {
+    StatementProfile s;
+    SubplanAccess sp;
+    sp.accesses = {ObjectAccess{0, 100, write, false, rmw}};
+    s.subplans.push_back(sp);
+    return cm.StatementCost(s, l);
+  };
+  const double read_cost = one(false, false);    // 100 * 1 ms
+  const double write_cost = one(true, false);    // 100 * 2 ms
+  const double rmw_cost = one(true, true);       // 100 * 3 ms
+  EXPECT_NEAR(read_cost, 100, 1e-9);
+  EXPECT_NEAR(write_cost, 200, 1e-9);
+  EXPECT_NEAR(rmw_cost, read_cost + write_cost, 1e-9);
+}
+
+TEST(RaidTest, SimulatorChargesRmwBothPasses) {
+  DiskDrive d;
+  d.name = "d";
+  d.capacity_blocks = 1'000'000;
+  d.seek_ms = 10.0;
+  d.read_mb_s = 65.536;   // 1 ms/block
+  d.write_mb_s = 32.768;  // 2 ms/block
+  const double rmw =
+      SimulateDiskStreams(d, {DiskStream{100, false, true, true}});
+  EXPECT_DOUBLE_EQ(rmw, 10.0 + 100 * 3.0);
+  // Parity drive: the write half pays 4x.
+  d.avail = Availability::kParity;
+  const double rmw_parity =
+      SimulateDiskStreams(d, {DiskStream{100, false, true, true}});
+  EXPECT_DOUBLE_EQ(rmw_parity, 10.0 + 100 * (1.0 + 8.0));
+}
+
+TEST(RaidTest, UpdatePlansFoldReadIntoRmw) {
+  Database db("d");
+  Table t;
+  t.name = "t";
+  t.row_count = 1'000'000;
+  t.columns = {IntKey("k", 1'000'000), IntKey("v", 100)};
+  t.clustered_key = {"k"};
+  ASSERT_TRUE(db.AddTable(t).ok());
+  Optimizer opt(db);
+
+  // Clustered range: sequential RMW over the qualifying blocks, and the
+  // read child's base-table I/O is folded away (no double count, no fake
+  // co-access seeks between the read and write pass).
+  auto plan = opt.Plan(ParseSql("UPDATE t SET v = 1 WHERE k < 100000").value());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->read_modify_write);
+  EXPECT_FALSE((*plan)->random_access);
+  EXPECT_GT((*plan)->blocks_accessed, 0);
+  auto subplans = DecomposeIntoSubplans(**plan);
+  ASSERT_EQ(subplans.size(), 1u);
+  ASSERT_EQ(subplans[0].accesses.size(), 1u);
+  EXPECT_TRUE(subplans[0].accesses[0].read_modify_write);
+
+  // Full-table update via scan: also one sequential RMW pass.
+  auto plan2 = opt.Plan(ParseSql("UPDATE t SET v = 2 WHERE v = 1").value());
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_TRUE((*plan2)->read_modify_write);
+  auto subplans2 = DecomposeIntoSubplans(**plan2);
+  ASSERT_EQ(subplans2.size(), 1u);
+  EXPECT_EQ(subplans2[0].accesses.size(), 1u);
+}
+
+TEST(RaidTest, AdvisorKeepsWriteHotObjectOffParity) {
+  Database db("d");
+  Table hot;
+  hot.name = "hot_log";
+  hot.row_count = 2'000'000;
+  hot.columns = {IntKey("h_k", 2'000'000), IntKey("h_v", 100)};
+  Column pay;
+  pay.name = "h_p";
+  pay.type = ColumnType::kChar;
+  pay.declared_length = 100;
+  hot.columns.push_back(pay);
+  hot.clustered_key = {"h_k"};
+  ASSERT_TRUE(db.AddTable(hot).ok());
+  Table cold = hot;
+  cold.name = "cold_data";
+  cold.columns[0].name = "c_k";
+  cold.columns[1].name = "c_v";
+  cold.columns[2].name = "c_p";
+  cold.clustered_key = {"c_k"};
+  ASSERT_TRUE(db.AddTable(cold).ok());
+
+  DiskFleet fleet;
+  for (int j = 0; j < 6; ++j) {
+    DiskDrive d;
+    d.name = "D" + std::to_string(j + 1);
+    d.capacity_blocks = BytesToBlocks(8'000'000'000);
+    d.seek_ms = 9;
+    d.read_mb_s = 40;
+    d.write_mb_s = 32;
+    d.avail = j < 4 ? Availability::kNone : Availability::kParity;
+    fleet.Add(d);
+  }
+
+  Workload wl("w");
+  // Write-dominated on hot_log, read-only on cold_data.
+  ASSERT_TRUE(wl.Add("UPDATE hot_log SET h_v = 1 WHERE h_k < 1800000", 50).ok());
+  ASSERT_TRUE(wl.Add("SELECT COUNT(*) FROM cold_data", 5).ok());
+
+  LayoutAdvisor advisor(db, fleet);
+  auto rec = advisor.Recommend(wl);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const int hot_id = db.ObjectIdOfTable("hot_log").value();
+  for (int j : rec->layout.DisksOf(hot_id)) {
+    EXPECT_NE(fleet.disk(j).avail, Availability::kParity)
+        << "write-hot object placed on RAID 5 drive " << fleet.disk(j).name;
+  }
+  EXPECT_GT(rec->ImprovementVsFullStripingPct(), 0.0);
+}
+
+}  // namespace
+}  // namespace dblayout

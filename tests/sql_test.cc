@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace dblayout {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, 1.5 FROM t WHERE x >= 'hi'");
+  ASSERT_TRUE(tokens.ok());
+  const auto& ts = tokens.value();
+  EXPECT_EQ(ts[0].text, "select");  // keywords lowercased
+  EXPECT_EQ(ts[1].text, "a");
+  EXPECT_EQ(ts[2].text, ",");
+  EXPECT_EQ(ts[3].kind, Token::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(ts[3].number, 1.5);
+  EXPECT_EQ(ts[7].text, "x");
+  EXPECT_EQ(ts[8].text, ">=");
+  EXPECT_EQ(ts[9].kind, Token::Kind::kString);
+  EXPECT_EQ(ts[9].text, "hi");
+  EXPECT_EQ(ts.back().kind, Token::Kind::kEnd);
+}
+
+TEST(LexerTest, EscapedQuoteAndComments) {
+  auto tokens = Tokenize("-- a comment\n'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].text, "it's");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Tokenize("'unterminated").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("a @ b").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseSql("SELECT * FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, SqlStatement::Kind::kSelect);
+  ASSERT_EQ(r->select.items.size(), 1u);
+  EXPECT_TRUE(r->select.items[0].star);
+  ASSERT_EQ(r->select.from.size(), 1u);
+  EXPECT_EQ(r->select.from[0].table, "t");
+  EXPECT_TRUE(r->select.where.empty());
+}
+
+TEST(ParserTest, JoinAndLiteralPredicates) {
+  auto r = ParseSql(
+      "SELECT a.x FROM tab1 a, tab2 b WHERE a.k = b.k AND a.y > 10 AND b.z = 'v'");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r->select.where;
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].kind, Predicate::Kind::kJoin);
+  EXPECT_EQ(w[0].lhs.qualifier, "a");
+  EXPECT_EQ(w[0].rhs_column.ToString(), "b.k");
+  EXPECT_EQ(w[1].kind, Predicate::Kind::kCompareLiteral);
+  EXPECT_EQ(w[1].op, CompareOp::kGt);
+  EXPECT_DOUBLE_EQ(w[1].rhs_literal.number, 10);
+  EXPECT_EQ(w[2].rhs_literal.text, "v");
+}
+
+TEST(ParserTest, Aggregates) {
+  auto r = ParseSql("SELECT COUNT(*), SUM(x), AVG(y), MIN(z), MAX(w) FROM t");
+  ASSERT_TRUE(r.ok());
+  const auto& items = r->select.items;
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].agg, AggFunc::kCount);
+  EXPECT_TRUE(items[0].star);
+  EXPECT_EQ(items[1].agg, AggFunc::kSum);
+  EXPECT_EQ(items[1].column.column, "x");
+  EXPECT_EQ(items[2].agg, AggFunc::kAvg);
+  EXPECT_EQ(items[3].agg, AggFunc::kMin);
+  EXPECT_EQ(items[4].agg, AggFunc::kMax);
+}
+
+TEST(ParserTest, GroupOrderTopDistinct) {
+  auto r = ParseSql(
+      "SELECT TOP 10 DISTINCT a, COUNT(*) FROM t GROUP BY a, b "
+      "ORDER BY a DESC, b ASC");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select.top, 10);
+  ASSERT_EQ(r->select.group_by.size(), 2u);
+  EXPECT_EQ(r->select.group_by[0].column, "a");
+  ASSERT_EQ(r->select.order_by.size(), 2u);
+  EXPECT_TRUE(r->select.order_by[0].descending);
+  EXPECT_FALSE(r->select.order_by[1].descending);
+}
+
+TEST(ParserTest, BetweenInLike) {
+  auto r = ParseSql(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2, 3) AND "
+      "c LIKE 'foo%'");
+  ASSERT_TRUE(r.ok());
+  const auto& w = r->select.where;
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0].kind, Predicate::Kind::kBetween);
+  EXPECT_DOUBLE_EQ(w[0].between_lo.number, 1);
+  EXPECT_DOUBLE_EQ(w[0].between_hi.number, 5);
+  EXPECT_EQ(w[1].kind, Predicate::Kind::kIn);
+  EXPECT_EQ(w[1].in_list.size(), 3u);
+  EXPECT_EQ(w[2].kind, Predicate::Kind::kLike);
+  EXPECT_EQ(w[2].like_pattern, "foo%");
+}
+
+TEST(ParserTest, DateLiteralsParsed) {
+  auto r = ParseSql("SELECT * FROM t WHERE d >= DATE '1995-03-15'");
+  ASSERT_TRUE(r.ok());
+  const auto& lit = r->select.where[0].rhs_literal;
+  EXPECT_EQ(lit.kind, Literal::Kind::kDate);
+  // 1995-03-15 is 9204 days after 1970-01-01.
+  EXPECT_DOUBLE_EQ(lit.number, 9204);
+}
+
+TEST(ParserTest, ParseDateDaysKnownValues) {
+  EXPECT_DOUBLE_EQ(ParseDateDays("1970-01-01").value(), 0);
+  EXPECT_DOUBLE_EQ(ParseDateDays("1970-01-02").value(), 1);
+  EXPECT_DOUBLE_EQ(ParseDateDays("1992-01-01").value(), 8035);
+  EXPECT_DOUBLE_EQ(ParseDateDays("2000-01-01").value(), 10957);
+  EXPECT_EQ(ParseDateDays("not-a-date").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDateDays("1995-13-01").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, TableAliases) {
+  auto r = ParseSql("SELECT l1.x FROM lineitem l1, lineitem AS l2 "
+                    "WHERE l1.k = l2.k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->select.from[0].BindName(), "l1");
+  EXPECT_EQ(r->select.from[1].BindName(), "l2");
+  EXPECT_EQ(r->select.from[0].table, "lineitem");
+}
+
+TEST(ParserTest, NegativeNumbers) {
+  auto r = ParseSql("SELECT * FROM t WHERE x > -5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->select.where[0].rhs_literal.number, -5);
+}
+
+TEST(ParserTest, Insert) {
+  auto r = ParseSql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, SqlStatement::Kind::kInsert);
+  EXPECT_EQ(r->insert.table, "t");
+  EXPECT_EQ(r->insert.num_rows, 2);
+}
+
+TEST(ParserTest, Update) {
+  auto r = ParseSql("UPDATE t SET a = 1, b = 'x' WHERE k = 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, SqlStatement::Kind::kUpdate);
+  EXPECT_EQ(r->update.table, "t");
+  EXPECT_EQ(r->update.set_columns, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(r->update.where.size(), 1u);
+}
+
+TEST(ParserTest, Delete) {
+  auto r = ParseSql("DELETE FROM t WHERE k < 100");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->kind, SqlStatement::Kind::kDelete);
+  EXPECT_EQ(r->del.table, "t");
+  ASSERT_EQ(r->del.where.size(), 1u);
+  EXPECT_EQ(r->del.where[0].op, CompareOp::kLt);
+}
+
+TEST(ParserTest, ExistsSubquery) {
+  auto r = ParseSql(
+      "SELECT COUNT(*) FROM orders WHERE o_total > 5 AND "
+      "EXISTS (SELECT l_id FROM lineitem WHERE l_oid = o_id)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& w = r->select.where;
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[1].kind, Predicate::Kind::kExists);
+  EXPECT_FALSE(w[1].negated);
+  ASSERT_NE(w[1].subquery, nullptr);
+  EXPECT_EQ(w[1].subquery->from[0].table, "lineitem");
+  ASSERT_EQ(w[1].subquery->where.size(), 1u);
+  EXPECT_EQ(w[1].subquery->where[0].kind, Predicate::Kind::kJoin);
+}
+
+TEST(ParserTest, NotExistsSubquery) {
+  auto r = ParseSql("SELECT * FROM c WHERE NOT EXISTS "
+                    "(SELECT o_k FROM o WHERE o_ck = c_k)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->select.where.size(), 1u);
+  EXPECT_EQ(r->select.where[0].kind, Predicate::Kind::kExists);
+  EXPECT_TRUE(r->select.where[0].negated);
+}
+
+TEST(ParserTest, InSubquery) {
+  auto r = ParseSql("SELECT * FROM p WHERE p_id IN "
+                    "(SELECT ps_pid FROM ps WHERE ps_qty > 10)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->select.where.size(), 1u);
+  const auto& p = r->select.where[0];
+  EXPECT_EQ(p.kind, Predicate::Kind::kInSubquery);
+  EXPECT_EQ(p.lhs.column, "p_id");
+  ASSERT_NE(p.subquery, nullptr);
+  EXPECT_EQ(p.subquery->items[0].column.column, "ps_pid");
+}
+
+TEST(ParserTest, SubqueryErrors) {
+  EXPECT_EQ(ParseSql("SELECT * FROM t WHERE EXISTS SELECT x FROM u")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("SELECT * FROM t WHERE NOT x = 1").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("SELECT * FROM t WHERE a IN (SELECT x, y FROM u)")
+                .status()
+                .code(),
+            StatusCode::kParseError);  // multi-column IN subquery
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_EQ(ParseSql("SELECT FROM t").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("SELECT *").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("FROB x").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("SELECT * FROM t WHERE").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("SELECT * FROM t extra garbage ,").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSql("INSERT INTO t").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ScriptWithGoAndSemicolons) {
+  auto r = ParseSqlScript(
+      "SELECT * FROM a;\n"
+      "SELECT * FROM b\n"
+      "GO\n"
+      "DELETE FROM c WHERE x = 1;");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].select.from[0].table, "a");
+  EXPECT_EQ((*r)[1].select.from[0].table, "b");
+  EXPECT_EQ((*r)[2].kind, SqlStatement::Kind::kDelete);
+}
+
+TEST(ParserTest, CompareOpNames) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kNe), "<>");
+  EXPECT_STREQ(CompareOpName(CompareOp::kLe), "<=");
+}
+
+}  // namespace
+}  // namespace dblayout
