@@ -142,7 +142,10 @@ Result<Workload> MakeApb800Workload(const Database& db, uint64_t seed,
     }
     std::string sql = StrFormat("SELECT SUM(%s), COUNT(*) FROM %s", measure,
                                 Join(tables, ", ").c_str());
-    if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+    if (!conds.empty()) {
+      sql += " WHERE ";
+      sql += Join(conds, " AND ");
+    }
     DBLAYOUT_RETURN_NOT_OK(wl.Add(sql));
   }
   return wl;

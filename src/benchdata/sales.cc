@@ -208,7 +208,10 @@ Result<Workload> MakeSales45Workload(const Database& db, uint64_t seed) {
     }
     std::string sql = StrFormat("SELECT COUNT(*), SUM(%s) FROM %s", agg_col.c_str(),
                                 Join(tables, ", ").c_str());
-    if (!conds.empty()) sql += " WHERE " + Join(conds, " AND ");
+    if (!conds.empty()) {
+      sql += " WHERE ";
+      sql += Join(conds, " AND ");
+    }
     if (rng.Bernoulli(0.5) &&
         std::find(tables.begin(), tables.end(), "so_header") != tables.end()) {
       sql += " GROUP BY soh_status";

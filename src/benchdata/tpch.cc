@@ -609,11 +609,19 @@ Result<Workload> MakeWkScale(const Database& db, int n, uint64_t seed) {
     } else {
       sql += group_col + ", COUNT(*)";
     }
-    sql += " FROM " + Join(tables, ", ");
-    if (!conjuncts.empty()) sql += " WHERE " + Join(conjuncts, " AND ");
+    sql += " FROM ";
+    sql += Join(tables, ", ");
+    if (!conjuncts.empty()) {
+      sql += " WHERE ";
+      sql += Join(conjuncts, " AND ");
+    }
     if (!group_col.empty()) {
-      sql += " GROUP BY " + group_col;
-      if (rng.Bernoulli(0.5)) sql += " ORDER BY " + group_col;
+      sql += " GROUP BY ";
+      sql += group_col;
+      if (rng.Bernoulli(0.5)) {
+        sql += " ORDER BY ";
+        sql += group_col;
+      }
     }
     DBLAYOUT_RETURN_NOT_OK(wl.Add(sql));
   }

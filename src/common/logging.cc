@@ -41,5 +41,23 @@ void CheckFailed(const char* file, int line, const char* expr) {
   std::abort();
 }
 
+void DcheckFailed(const char* file, int line, const char* expr,
+                  const char* detail) {
+  if (detail != nullptr) {
+    std::fprintf(stderr, "[FATAL %s:%d] dcheck failed: %s (%s)\n", file, line,
+                 expr, detail);
+  } else {
+    std::fprintf(stderr, "[FATAL %s:%d] dcheck failed: %s\n", file, line, expr);
+  }
+  std::abort();
+}
+
+void DcheckCmpFailed(const char* file, int line, const char* expr, double lhs,
+                     double rhs) {
+  std::fprintf(stderr, "[FATAL %s:%d] dcheck failed: %s (lhs=%.17g rhs=%.17g)\n",
+               file, line, expr, lhs, rhs);
+  std::abort();
+}
+
 }  // namespace internal
 }  // namespace dblayout

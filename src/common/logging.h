@@ -1,15 +1,29 @@
 // Minimal logging and invariant-checking macros.
 //
-// DBLAYOUT_CHECK aborts on violated invariants (programmer errors); user
-// errors are reported through Status. DBLAYOUT_LOG writes to stderr and is
-// controlled by a global verbosity level so library code stays quiet under
-// benchmarks by default.
+// Check-macro policy:
+//   DBLAYOUT_CHECK      always on, aborts on violated invariants. Use for
+//                       programmer errors on cold paths (bad call contracts).
+//                       User errors are reported through Status instead.
+//   DBLAYOUT_DCHECK_*   debug-only. Compiled out (arguments not evaluated)
+//                       unless DBLAYOUT_DCHECK_ENABLED is non-zero, so they
+//                       are free in release builds and may guard expensive
+//                       audits on hot paths (e.g. re-validating the layout
+//                       matrix after every greedy move, see src/analysis/).
+//
+// DBLAYOUT_DCHECK_ENABLED defaults to on in debug builds (NDEBUG undefined)
+// and off otherwise; the build system overrides it explicitly for sanitizer
+// presets (see DBLAYOUT_DCHECKS in the top-level CMakeLists.txt).
+//
+// DBLAYOUT_LOG writes to stderr and is controlled by a global verbosity
+// level so library code stays quiet under benchmarks by default.
 
 #ifndef DBLAYOUT_COMMON_LOGGING_H_
 #define DBLAYOUT_COMMON_LOGGING_H_
 
 #include <cstdio>
 #include <cstdlib>
+
+#include "common/status.h"
 
 namespace dblayout {
 
@@ -23,6 +37,10 @@ namespace internal {
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...)
     __attribute__((format(printf, 4, 5)));
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+[[noreturn]] void DcheckFailed(const char* file, int line, const char* expr,
+                               const char* detail);
+[[noreturn]] void DcheckCmpFailed(const char* file, int line, const char* expr,
+                                  double lhs, double rhs);
 }  // namespace internal
 
 }  // namespace dblayout
@@ -35,5 +53,91 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt, ...
   do {                                                                           \
     if (!(expr)) ::dblayout::internal::CheckFailed(__FILE__, __LINE__, #expr);   \
   } while (0)
+
+// ---------------------------------------------------------------------------
+// Debug-only checks.
+
+#if !defined(DBLAYOUT_DCHECK_ENABLED)
+#if defined(NDEBUG)
+#define DBLAYOUT_DCHECK_ENABLED 0
+#else
+#define DBLAYOUT_DCHECK_ENABLED 1
+#endif
+#endif
+
+/// True when DBLAYOUT_DCHECK* macros are live in this build. Lets tests skip
+/// death tests that require the checks to be compiled in.
+#define DBLAYOUT_DCHECK_IS_ON() (DBLAYOUT_DCHECK_ENABLED != 0)
+
+#if DBLAYOUT_DCHECK_ENABLED
+
+#define DBLAYOUT_DCHECK(expr)                                                    \
+  do {                                                                           \
+    if (!(expr))                                                                 \
+      ::dblayout::internal::DcheckFailed(__FILE__, __LINE__, #expr, nullptr);    \
+  } while (0)
+
+/// Evaluates a Status (or Status-returning expression) and aborts with its
+/// message when it is not OK. The workhorse of the invariant-audit hooks.
+#define DBLAYOUT_DCHECK_OK(expr)                                                 \
+  do {                                                                           \
+    const ::dblayout::Status _dbl_status = (expr);                               \
+    if (!_dbl_status.ok())                                                       \
+      ::dblayout::internal::DcheckFailed(__FILE__, __LINE__, #expr,              \
+                                         _dbl_status.ToString().c_str());        \
+  } while (0)
+
+#define DBLAYOUT_DCHECK_CMP_(a, b, op)                                           \
+  do {                                                                           \
+    const auto _dbl_a = (a);                                                     \
+    const auto _dbl_b = (b);                                                     \
+    if (!(_dbl_a op _dbl_b))                                                     \
+      ::dblayout::internal::DcheckCmpFailed(__FILE__, __LINE__,                  \
+                                            #a " " #op " " #b,                   \
+                                            static_cast<double>(_dbl_a),         \
+                                            static_cast<double>(_dbl_b));        \
+  } while (0)
+
+/// |a - b| <= eps, for floating-point invariants with an explicit tolerance.
+#define DBLAYOUT_DCHECK_NEAR(a, b, eps)                                          \
+  do {                                                                           \
+    const double _dbl_a = static_cast<double>(a);                                \
+    const double _dbl_b = static_cast<double>(b);                                \
+    const double _dbl_e = static_cast<double>(eps);                              \
+    const double _dbl_d = _dbl_a > _dbl_b ? _dbl_a - _dbl_b : _dbl_b - _dbl_a;   \
+    if (!(_dbl_d <= _dbl_e))                                                     \
+      ::dblayout::internal::DcheckCmpFailed(__FILE__, __LINE__,                  \
+                                            "|" #a " - " #b "| <= " #eps,        \
+                                            _dbl_a, _dbl_b);                     \
+  } while (0)
+
+#else  // !DBLAYOUT_DCHECK_ENABLED
+
+// Disabled: arguments are type-checked but never evaluated.
+#define DBLAYOUT_DCHECK_NOOP1_(a)                                                \
+  do {                                                                           \
+    if (false) static_cast<void>(a);                                             \
+  } while (0)
+#define DBLAYOUT_DCHECK_NOOP2_(a, b)                                             \
+  do {                                                                           \
+    if (false) {                                                                 \
+      static_cast<void>(a);                                                      \
+      static_cast<void>(b);                                                      \
+    }                                                                            \
+  } while (0)
+
+#define DBLAYOUT_DCHECK(expr) DBLAYOUT_DCHECK_NOOP1_(expr)
+#define DBLAYOUT_DCHECK_OK(expr) DBLAYOUT_DCHECK_NOOP1_(expr)
+#define DBLAYOUT_DCHECK_CMP_(a, b, op) DBLAYOUT_DCHECK_NOOP2_(a, b)
+#define DBLAYOUT_DCHECK_NEAR(a, b, eps) DBLAYOUT_DCHECK_NOOP2_(a, b)
+
+#endif  // DBLAYOUT_DCHECK_ENABLED
+
+#define DBLAYOUT_DCHECK_EQ(a, b) DBLAYOUT_DCHECK_CMP_(a, b, ==)
+#define DBLAYOUT_DCHECK_NE(a, b) DBLAYOUT_DCHECK_CMP_(a, b, !=)
+#define DBLAYOUT_DCHECK_GE(a, b) DBLAYOUT_DCHECK_CMP_(a, b, >=)
+#define DBLAYOUT_DCHECK_GT(a, b) DBLAYOUT_DCHECK_CMP_(a, b, >)
+#define DBLAYOUT_DCHECK_LE(a, b) DBLAYOUT_DCHECK_CMP_(a, b, <=)
+#define DBLAYOUT_DCHECK_LT(a, b) DBLAYOUT_DCHECK_CMP_(a, b, <)
 
 #endif  // DBLAYOUT_COMMON_LOGGING_H_

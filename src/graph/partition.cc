@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 
 namespace dblayout {
@@ -49,6 +50,9 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   const size_t n = g.num_nodes();
   const int p = std::max(1, options.num_partitions);
   Partitioning part(n, 0);
+  // Debug-build audit: the KL-style heuristic below assumes non-negative,
+  // symmetric weights; negative weights would make the greedy gains lie.
+  DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditGraphWeights(g));
   if (n == 0 || p == 1) return part;
 
   // Contract co-location groups into supernodes.
@@ -148,6 +152,10 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   }
 
   for (size_t u = 0; u < n; ++u) part[u] = sp[super_of[u]];
+  // Debug-build audit: every node labeled in range and co-location intact
+  // after the improvement passes (a bad swap here would silently desynchronize
+  // step 1b's partition-to-disk assignment).
+  DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditPartitioning(g, part, options));
   return part;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/invariant_auditor.h"
+#include "common/logging.h"
 #include "common/strutil.h"
 
 namespace dblayout {
@@ -52,6 +54,13 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   rec.layouts_evaluated = sr.layouts_evaluated;
   rec.full_striping =
       Layout::FullStriping(static_cast<int>(db_.Objects().size()), fleet_);
+
+  // Debug-build audit: the recommendation handed to the user (and the
+  // baseline it is compared against) must satisfy every Definition 2
+  // constraint, independently of the search's own final Validate call.
+  const InvariantAuditor auditor;
+  DBLAYOUT_DCHECK_OK(auditor.AuditLayout(rec.layout, db_.ObjectSizes(), fleet_));
+  DBLAYOUT_DCHECK_OK(auditor.AuditLayoutRows(rec.full_striping));
 
   const CostModel cost_model(fleet_);
   rec.full_striping_cost_ms = cost_model.WorkloadCost(*objective, rec.full_striping);

@@ -1,7 +1,11 @@
 #include "layout/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+
+#include "analysis/invariant_auditor.h"
+#include "common/logging.h"
 
 namespace dblayout {
 
@@ -26,8 +30,17 @@ double CostModel::SubplanCost(const SubplanAccess& subplan, const Layout& layout
     }
     double seek = 0;
     if (k > 1) seek = static_cast<double>(k) * d.seek_ms * min_blocks_on_disk;
+    // Per-disk times are sums of non-negative terms; anything else means a
+    // corrupted layout fraction or drive parameter reached the hot path.
+    DBLAYOUT_DCHECK(std::isfinite(transfer) && transfer >= 0);
+    DBLAYOUT_DCHECK(std::isfinite(seek) && seek >= 0);
     max_cost = std::max(max_cost, transfer + seek);
   }
+  // Debug-build audit: independent recomputation must agree that the
+  // sub-plan costs the max over disks (guards future incremental or
+  // vectorized rewrites of this function).
+  DBLAYOUT_DCHECK_OK(
+      InvariantAuditor().AuditSubplanCost(subplan, layout, fleet_, max_cost));
   return max_cost;
 }
 
@@ -46,6 +59,7 @@ double CostModel::WorkloadCost(const WorkloadProfile& profile,
   for (const StatementProfile& s : profile.statements) {
     total += s.weight * StatementCost(s, layout);
   }
+  DBLAYOUT_DCHECK(std::isfinite(total) && total >= 0);
   return total;
 }
 

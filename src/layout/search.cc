@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "graph/partition.h"
@@ -87,6 +88,7 @@ Result<Layout> TsGreedySearch::InitialLayout(
 
   // Step 1a: partition the access graph into m parts maximizing the cut.
   WeightedGraph g = BuildAccessGraph(profile);
+  DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditAccessGraph(g));
   PartitionOptions popt;
   popt.num_partitions = m;
   for (const auto& group : constraints.co_located_groups) {
@@ -204,6 +206,9 @@ Result<Layout> TsGreedySearch::InitialLayout(
                     fleet_.disk(j).name.c_str()));
     }
   }
+  // Debug-build audit: step 1's output must already be a fully allocated
+  // fraction matrix — greedy widening assumes it.
+  DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
   return layout;
 }
 
@@ -322,6 +327,10 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
     used = std::move(best_used);
     cost = best_cost;
     ++stats->greedy_iterations;
+    if (options_.post_move_hook_for_test) options_.post_move_hook_for_test(layout);
+    // Debug-build audit: every accepted widening/narrowing/jump move must
+    // leave the fraction matrix fully allocated and non-negative.
+    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
   }
   stats->cost = cost;
   return layout;
@@ -375,6 +384,7 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
   // the access graph — separating a co-accessed pair only pays off when
   // both sides move, so single-group steps alone stall at the barrier.
   const WeightedGraph g = BuildAccessGraph(profile);
+  DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditAccessGraph(g));
   std::vector<std::vector<size_t>> units;
   for (size_t a = 0; a < groups.size(); ++a) units.push_back({a});
   for (size_t a = 0; a < groups.size(); ++a) {
@@ -431,6 +441,8 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     cost = best_cost;
     for (size_t gi : units[best_unit]) migrated[gi] = true;
     ++stats->greedy_iterations;
+    // Debug-build audit: each accepted migration step stays a valid matrix.
+    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
   }
   stats->cost = cost;
   stats->initial_cost = cost;

@@ -10,6 +10,8 @@
 #define DBLAYOUT_LAYOUT_SEARCH_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "common/rng.h"
 #include "layout/constraints.h"
@@ -43,6 +45,11 @@ struct SearchOptions {
   /// Never return a layout costlier than FULL STRIPING: if full striping is
   /// valid, satisfies the constraints, and estimates cheaper, return it.
   bool fallback_to_full_striping = true;
+  /// Test-only fault injection: when set, invoked on the working layout
+  /// after every accepted greedy move, *before* the debug-build invariant
+  /// audit. Lets tests corrupt an intermediate state and verify that the
+  /// audit catches it (see tests/analysis_test.cc). Never set in production.
+  std::function<void(Layout&)> post_move_hook_for_test;
 };
 
 struct SearchResult {
@@ -57,7 +64,7 @@ class TsGreedySearch {
  public:
   TsGreedySearch(const Database& db, const DiskFleet& fleet,
                  SearchOptions options = {})
-      : db_(db), fleet_(fleet), options_(options) {}
+      : db_(db), fleet_(fleet), options_(std::move(options)) {}
 
   /// Runs TS-GREEDY for the analyzed workload under `constraints`.
   Result<SearchResult> Run(const WorkloadProfile& profile,

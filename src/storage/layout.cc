@@ -15,6 +15,7 @@ namespace {
 /// Largest-remainder apportionment of `total` blocks over non-negative
 /// fractions (which sum to ~1): returns integer counts summing to `total`.
 std::vector<int64_t> Apportion(const std::vector<double>& fractions, int64_t total) {
+  DBLAYOUT_DCHECK_GE(total, 0);
   const size_t m = fractions.size();
   std::vector<int64_t> out(m, 0);
   std::vector<std::pair<double, size_t>> rem;
@@ -43,7 +44,10 @@ std::vector<int64_t> Apportion(const std::vector<double>& fractions, int64_t tot
       if (fractions[j] > fractions[jmax]) jmax = j;
     }
     out[jmax] += total - assigned;
+    assigned = total;
   }
+  // Postcondition: the apportionment is exact — every block lands somewhere.
+  DBLAYOUT_DCHECK_EQ(assigned, total);
   return out;
 }
 
@@ -53,15 +57,27 @@ void Layout::AssignProportional(int i, const std::vector<int>& disks,
                                 const DiskFleet& fleet) {
   DBLAYOUT_CHECK(!disks.empty());
   double total_rate = 0;
-  for (int j : disks) total_rate += fleet.disk(j).read_mb_s;
+  for (int j : disks) {
+    DBLAYOUT_DCHECK(j >= 0 && j < m_);
+    total_rate += fleet.disk(j).read_mb_s;
+  }
+  DBLAYOUT_DCHECK_GT(total_rate, 0);
   for (int j = 0; j < m_; ++j) set_x(i, j, 0.0);
-  for (int j : disks) set_x(i, j, fleet.disk(j).read_mb_s / total_rate);
+  double row = 0;
+  for (int j : disks) {
+    set_x(i, j, fleet.disk(j).read_mb_s / total_rate);
+    row += x(i, j);
+  }
+  DBLAYOUT_DCHECK_NEAR(row, 1.0, kLayoutFractionTolerance);
 }
 
 void Layout::AssignEqual(int i, const std::vector<int>& disks) {
   DBLAYOUT_CHECK(!disks.empty());
   for (int j = 0; j < m_; ++j) set_x(i, j, 0.0);
-  for (int j : disks) set_x(i, j, 1.0 / static_cast<double>(disks.size()));
+  for (int j : disks) {
+    DBLAYOUT_DCHECK(j >= 0 && j < m_);
+    set_x(i, j, 1.0 / static_cast<double>(disks.size()));
+  }
 }
 
 std::vector<int> Layout::DisksOf(int i) const {
@@ -97,30 +113,32 @@ Status Layout::Validate(const std::vector<int64_t>& object_blocks,
     return Status::InvalidArgument(
         StrFormat("layout has %d disks but fleet has %d", m_, fleet.num_disks()));
   }
-  constexpr double kTol = 1e-6;
   for (int i = 0; i < n_; ++i) {
     double row = 0;
     for (int j = 0; j < m_; ++j) {
       const double v = x(i, j);
-      if (v < -kTol) {
-        return Status::InvalidArgument(
-            StrFormat("negative fraction x(%d,%d)=%g", i, j, v));
+      if (v < -kLayoutFractionTolerance) {
+        return Status::InvalidArgument(StrFormat(
+            "layout invalid: object %d has negative fraction %g on disk '%s'",
+            i, v, fleet.disk(j).name.c_str()));
       }
       row += v;
     }
-    if (std::abs(row - 1.0) > kTol) {
-      return Status::InvalidArgument(
-          StrFormat("object %d allocated fraction %g != 1", i, row));
+    if (std::abs(row - 1.0) > kLayoutFractionTolerance) {
+      return Status::InvalidArgument(StrFormat(
+          "layout invalid: object %d is allocated fraction %.9g != 1 "
+          "(tolerance %g)",
+          i, row, kLayoutFractionTolerance));
     }
   }
   for (int j = 0; j < m_; ++j) {
     int64_t used = 0;
     for (int i = 0; i < n_; ++i) used += BlocksOnDisk(i, j, object_blocks[static_cast<size_t>(i)]);
     if (used > fleet.disk(j).capacity_blocks) {
-      return Status::CapacityExceeded(
-          StrFormat("disk %s: %lld blocks allocated, capacity %lld",
-                    fleet.disk(j).name.c_str(), static_cast<long long>(used),
-                    static_cast<long long>(fleet.disk(j).capacity_blocks)));
+      return Status::CapacityExceeded(StrFormat(
+          "layout invalid: disk '%s' holds %lld blocks, capacity %lld",
+          fleet.disk(j).name.c_str(), static_cast<long long>(used),
+          static_cast<long long>(fleet.disk(j).capacity_blocks)));
     }
   }
   return Status::OK();
@@ -179,7 +197,10 @@ std::string Layout::ToString(const std::vector<std::string>& object_names,
 std::string Layout::ToCsv(const std::vector<std::string>& object_names,
                           const DiskFleet& fleet) const {
   std::string out = "object";
-  for (int j = 0; j < m_; ++j) out += "," + fleet.disk(j).name;
+  for (int j = 0; j < m_; ++j) {
+    out += ',';
+    out += fleet.disk(j).name;
+  }
   out += '\n';
   for (int i = 0; i < n_; ++i) {
     out += i < static_cast<int>(object_names.size())

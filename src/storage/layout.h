@@ -15,6 +15,14 @@
 
 namespace dblayout {
 
+/// Tolerance for the full-allocation constraint of Definition 2: a row of
+/// the fraction matrix is considered fully allocated when its sum is within
+/// this distance of 1, and an entry is considered non-negative when it is
+/// above -kLayoutFractionTolerance. Shared by Layout::Validate and the
+/// InvariantAuditor (src/analysis/) so both boundary validation and the
+/// debug-build audits agree on what "valid" means.
+inline constexpr double kLayoutFractionTolerance = 1e-6;
+
 /// A database layout assigns each object a fraction of its blocks on each
 /// disk drive: cell (i, j) is the fraction of object i placed on drive j.
 /// Rows must be non-negative and sum to 1 for a valid layout.
