@@ -5,11 +5,19 @@
 #ifndef DBLAYOUT_GRAPH_WEIGHTED_GRAPH_H_
 #define DBLAYOUT_GRAPH_WEIGHTED_GRAPH_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <unordered_map>
 #include <vector>
 
 namespace dblayout {
+
+/// One undirected edge (u < v) with its weight; see WeightedGraph::SortedEdges.
+struct GraphEdge {
+  size_t u = 0;
+  size_t v = 0;
+  double weight = 0;
+};
 
 /// An undirected graph over nodes 0..n-1 with double node and edge weights.
 /// Self-loops are ignored; parallel edge additions accumulate weight.
@@ -54,6 +62,22 @@ class WeightedGraph {
     size_t deg = 0;
     for (const auto& a : adj_) deg += a.size();
     return deg / 2;
+  }
+
+  /// All undirected edges with u < v, sorted by (u, v). Adjacency is kept in
+  /// unordered maps, so this is the iteration order for any consumer that
+  /// must produce deterministic output (diagnostics, reports, golden tests).
+  std::vector<GraphEdge> SortedEdges() const {
+    std::vector<GraphEdge> edges;
+    for (size_t u = 0; u < adj_.size(); ++u) {
+      for (const auto& [v, w] : adj_[u]) {
+        if (u < v) edges.push_back(GraphEdge{u, v, w});
+      }
+    }
+    std::sort(edges.begin(), edges.end(), [](const GraphEdge& a, const GraphEdge& b) {
+      return a.u != b.u ? a.u < b.u : a.v < b.v;
+    });
+    return edges;
   }
 
   /// Sum of all edge weights (each undirected edge counted once).

@@ -26,6 +26,26 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
     return Status::InvalidArgument(
         "workload profile was analyzed against a different database");
   }
+  // Pre-search feasibility gate (shared with the lint subsystem): an
+  // infeasible constraint set becomes one clear diagnostic here instead of a
+  // search that grinds through candidates and fails with a capacity error.
+  if (std::vector<ConstraintIssue> issues =
+          CheckConstraintFeasibility(options_.constraints, db_, fleet_);
+      !issues.empty()) {
+    std::vector<std::string> messages;
+    bool unknown_object = false;
+    for (const ConstraintIssue& issue : issues) {
+      messages.push_back(issue.message);
+      unknown_object |= issue.kind == ConstraintIssue::Kind::kUnknownObject;
+    }
+    const std::string combined =
+        StrFormat("constraints are infeasible before search: %s",
+                  Join(messages, "; ").c_str());
+    // A misspelled object name is a lookup failure, not an infeasibility;
+    // keep the NotFound code callers already match on.
+    return unknown_object ? Status::NotFound(combined)
+                          : Status::FailedPrecondition(combined);
+  }
   DBLAYOUT_ASSIGN_OR_RETURN(ResolvedConstraints constraints,
                             ResolveConstraints(options_.constraints, db_, fleet_));
 

@@ -87,10 +87,22 @@ Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
       const auto& r = out.required_avail[static_cast<size_t>(i)];
       if (!r.has_value()) continue;
       if (req.has_value() && *req != *r) {
-        return Status::FailedPrecondition(
-            StrFormat("co-located objects '%s' and friends have conflicting "
-                      "availability requirements",
-                      objects[static_cast<size_t>(group[0])].name.c_str()));
+        // Name every member of the group and each member's explicit
+        // requirement so the user can see exactly which pair conflicts.
+        std::vector<std::string> members;
+        std::vector<std::string> demands;
+        for (int m : group) {
+          members.push_back(objects[static_cast<size_t>(m)].name);
+          const auto& mr = out.required_avail[static_cast<size_t>(m)];
+          if (mr.has_value()) {
+            demands.push_back(StrFormat("'%s' requires %s",
+                                        objects[static_cast<size_t>(m)].name.c_str(),
+                                        AvailabilityName(*mr)));
+          }
+        }
+        return Status::FailedPrecondition(StrFormat(
+            "co-location group {%s} has conflicting availability requirements: %s",
+            Join(members, ", ").c_str(), Join(demands, ", ").c_str()));
       }
       req = r;
     }
@@ -109,6 +121,269 @@ Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
     out.current_layout = constraints.current_layout;
   }
   return out;
+}
+
+std::vector<ConstraintIssue> CheckConstraintFeasibility(const Constraints& constraints,
+                                                        const Database& db,
+                                                        const DiskFleet& fleet) {
+  std::vector<ConstraintIssue> issues;
+  const auto& objects = db.Objects();
+
+  auto find_object = [&](const std::string& name) -> int {
+    for (const auto& o : objects) {
+      if (ToLower(o.name) == ToLower(name)) return o.id;
+    }
+    return -1;
+  };
+
+  // Unknown names, deduplicated in first-mention order.
+  std::vector<std::string> unknown;
+  auto note_unknown = [&](const std::string& name) {
+    for (const auto& u : unknown) {
+      if (ToLower(u) == ToLower(name)) return;
+    }
+    unknown.push_back(name);
+  };
+
+  // Lenient union-find over the known objects of co-location pairs.
+  std::vector<int> parent(objects.size());
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [a_name, b_name] : constraints.co_located) {
+    const int a = find_object(a_name);
+    const int b = find_object(b_name);
+    if (a < 0) note_unknown(a_name);
+    if (b < 0) note_unknown(b_name);
+    if (a >= 0 && b >= 0) parent[static_cast<size_t>(find(a))] = find(b);
+  }
+
+  // Availability requirements, keeping every issue instead of failing fast.
+  std::vector<std::optional<Availability>> required(objects.size());
+  std::vector<bool> flagged_unsatisfiable(objects.size(), false);
+  for (const auto& [name, avail] : constraints.avail_requirements) {
+    const int id = find_object(name);
+    if (id < 0) {
+      note_unknown(name);
+      continue;
+    }
+    const auto& obj_name = objects[static_cast<size_t>(id)].name;
+    if (required[static_cast<size_t>(id)].has_value() &&
+        *required[static_cast<size_t>(id)] != avail) {
+      ConstraintIssue issue;
+      issue.kind = ConstraintIssue::Kind::kAvailabilityConflict;
+      issue.objects = {obj_name};
+      issue.message = StrFormat(
+          "object '%s' has two availability requirements, %s and %s",
+          obj_name.c_str(), AvailabilityName(*required[static_cast<size_t>(id)]),
+          AvailabilityName(avail));
+      issue.fix_it = StrFormat("keep a single availability requirement for '%s'",
+                               obj_name.c_str());
+      issues.push_back(std::move(issue));
+    }
+    required[static_cast<size_t>(id)] = avail;
+    bool satisfiable = false;
+    for (int j = 0; j < fleet.num_disks(); ++j) {
+      if (fleet.disk(j).avail == avail) {
+        satisfiable = true;
+        break;
+      }
+    }
+    if (!satisfiable && !flagged_unsatisfiable[static_cast<size_t>(id)]) {
+      flagged_unsatisfiable[static_cast<size_t>(id)] = true;
+      ConstraintIssue issue;
+      issue.kind = ConstraintIssue::Kind::kAvailabilityUnsatisfiable;
+      issue.objects = {obj_name};
+      issue.message =
+          StrFormat("object '%s' requires availability %s but no drive provides it",
+                    obj_name.c_str(), AvailabilityName(avail));
+      issue.fix_it = StrFormat("add a drive with availability %s or drop the "
+                               "requirement on '%s'",
+                               AvailabilityName(avail), obj_name.c_str());
+      issues.push_back(std::move(issue));
+    }
+  }
+
+  for (const auto& name : unknown) {
+    ConstraintIssue issue;
+    issue.kind = ConstraintIssue::Kind::kUnknownObject;
+    issue.objects = {name};
+    issue.message = StrFormat("constraint references unknown object '%s'", name.c_str());
+    issue.fix_it = "check the object name against the schema (tables and "
+                   "'table.index' non-clustered indexes)";
+    issues.push_back(std::move(issue));
+  }
+
+  // Per co-location group (plus singletons carrying a requirement): check
+  // for conflicting availability demands, then for capacity of the drives
+  // the whole group may use.
+  const std::vector<int64_t> sizes = db.ObjectSizes();
+  std::map<int, std::vector<int>> groups;
+  for (size_t i = 0; i < parent.size(); ++i) {
+    groups[find(static_cast<int>(i))].push_back(static_cast<int>(i));
+  }
+  for (const auto& [root, members] : groups) {
+    (void)root;
+    const bool has_requirement = [&] {
+      for (int m : members) {
+        if (required[static_cast<size_t>(m)].has_value()) return true;
+      }
+      return false;
+    }();
+    if (members.size() < 2 && !has_requirement) continue;
+
+    auto member_names = [&] {
+      std::vector<std::string> names;
+      for (int m : members) names.push_back(objects[static_cast<size_t>(m)].name);
+      return names;
+    }();
+
+    // Conflicting demands within the group.
+    std::optional<Availability> effective;
+    bool conflict = false;
+    for (int m : members) {
+      const auto& r = required[static_cast<size_t>(m)];
+      if (!r.has_value()) continue;
+      if (effective.has_value() && *effective != *r) conflict = true;
+      if (!effective.has_value()) effective = r;
+    }
+    if (conflict && members.size() >= 2) {
+      std::vector<std::string> demands;
+      for (int m : members) {
+        const auto& r = required[static_cast<size_t>(m)];
+        if (r.has_value()) {
+          demands.push_back(StrFormat("'%s' requires %s",
+                                      objects[static_cast<size_t>(m)].name.c_str(),
+                                      AvailabilityName(*r)));
+        }
+      }
+      ConstraintIssue issue;
+      issue.kind = ConstraintIssue::Kind::kAvailabilityConflict;
+      issue.objects = member_names;
+      issue.message = StrFormat(
+          "co-location group {%s} has conflicting availability requirements: %s",
+          Join(member_names, ", ").c_str(), Join(demands, ", ").c_str());
+      issue.fix_it = "give every member of the group the same availability "
+                     "requirement, or remove a co-location pair to split it";
+      issues.push_back(std::move(issue));
+      continue;  // capacity against an ill-defined drive set would be noise
+    }
+
+    // Drives every member may use, and their combined capacity.
+    std::vector<int> eligible;
+    for (int j = 0; j < fleet.num_disks(); ++j) {
+      if (!effective.has_value() || fleet.disk(j).avail == *effective) {
+        eligible.push_back(j);
+      }
+    }
+    int64_t group_blocks = 0;
+    for (int m : members) group_blocks += sizes[static_cast<size_t>(m)];
+    if (eligible.empty()) {
+      bool already_flagged = false;
+      for (int m : members) {
+        if (flagged_unsatisfiable[static_cast<size_t>(m)]) already_flagged = true;
+      }
+      if (!already_flagged) {
+        ConstraintIssue issue;
+        issue.kind = ConstraintIssue::Kind::kGroupNoEligibleDrives;
+        issue.objects = member_names;
+        issue.message =
+            StrFormat("no drive is eligible for co-location group {%s}",
+                      Join(member_names, ", ").c_str());
+        issue.fix_it = "add drives satisfying the group's availability requirement";
+        issues.push_back(std::move(issue));
+      }
+      continue;
+    }
+    int64_t eligible_capacity = 0;
+    std::vector<std::string> eligible_names;
+    for (int j : eligible) {
+      eligible_capacity += fleet.disk(j).capacity_blocks;
+      eligible_names.push_back(fleet.disk(j).name);
+    }
+    if (group_blocks > eligible_capacity) {
+      ConstraintIssue issue;
+      issue.kind = ConstraintIssue::Kind::kGroupCapacity;
+      issue.objects = member_names;
+      issue.disks = eligible_names;
+      issue.message = StrFormat(
+          "%s{%s} needs %lld blocks but its eligible drives {%s} hold only "
+          "%lld blocks",
+          members.size() >= 2 ? "co-location group " : "object ",
+          Join(member_names, ", ").c_str(), static_cast<long long>(group_blocks),
+          Join(eligible_names, ", ").c_str(),
+          static_cast<long long>(eligible_capacity));
+      issue.fix_it = "add capacity at the required availability level, relax "
+                     "the availability requirement, or split the co-location "
+                     "group";
+      issues.push_back(std::move(issue));
+    }
+  }
+
+  // Movement bound: a budget needs a baseline, and it must at least cover
+  // the movement any valid layout is forced to make (completing
+  // under-allocated rows and vacating drives an availability requirement
+  // forbids).
+  if (constraints.max_movement_fraction >= 0) {
+    if (constraints.current_layout == nullptr) {
+      ConstraintIssue issue;
+      issue.kind = ConstraintIssue::Kind::kMovementMissingCurrentLayout;
+      issue.message = StrFormat(
+          "max_movement_fraction %g requires current_layout to measure against",
+          constraints.max_movement_fraction);
+      issue.fix_it = "supply the current layout (the CLI's --max-move assumes "
+                     "full striping)";
+      issues.push_back(std::move(issue));
+    } else {
+      const Layout& cur = *constraints.current_layout;
+      const double budget = constraints.max_movement_fraction *
+                            static_cast<double>(db.TotalBlocks());
+      double forced = 0;
+      std::vector<std::string> forced_objects;
+      if (cur.num_objects() == static_cast<int>(objects.size()) &&
+          cur.num_disks() == fleet.num_disks()) {
+        for (size_t i = 0; i < objects.size(); ++i) {
+          double row_sum = 0;
+          double disallowed = 0;
+          for (int j = 0; j < fleet.num_disks(); ++j) {
+            const double x = cur.x(static_cast<int>(i), j);
+            if (x <= 0) continue;
+            row_sum += x;
+            const auto& r = required[i];
+            if (r.has_value() && fleet.disk(j).avail != *r) disallowed += x;
+          }
+          const double need =
+              (std::max(0.0, 1.0 - row_sum) + disallowed) * static_cast<double>(sizes[i]);
+          if (need > 0) {
+            forced += need;
+            forced_objects.push_back(objects[i].name);
+          }
+        }
+      }
+      if (forced > budget * (1 + 1e-9)) {
+        ConstraintIssue issue;
+        issue.kind = ConstraintIssue::Kind::kMovementBudgetTooSmall;
+        issue.objects = forced_objects;
+        issue.message = StrFormat(
+            "movement budget is %.0f blocks (%g of the database) but any "
+            "valid layout must move at least %.0f blocks to complete "
+            "allocation and honor availability requirements (objects: %s)",
+            budget, constraints.max_movement_fraction, forced,
+            Join(forced_objects, ", ").c_str());
+        issue.fix_it = StrFormat("raise max_movement_fraction to at least %.4f",
+                                 forced / std::max<double>(1.0, static_cast<double>(
+                                                                    db.TotalBlocks())));
+        issues.push_back(std::move(issue));
+      }
+    }
+  }
+  return issues;
 }
 
 Status CheckConstraints(const Layout& layout, const ResolvedConstraints& constraints,

@@ -60,6 +60,41 @@ Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
                                                const Database& db,
                                                const DiskFleet& fleet);
 
+/// One structural problem that makes a constraint set unsatisfiable (or
+/// malformed) *before any search runs*. Produced by
+/// CheckConstraintFeasibility; consumed by the advisor's pre-search gate and
+/// by the lint rules, which turn each issue into a Diagnostic.
+struct ConstraintIssue {
+  enum class Kind {
+    kUnknownObject,              ///< constraint names an object not in the schema
+    kAvailabilityUnsatisfiable,  ///< required level provided by no drive
+    kAvailabilityConflict,       ///< co-location group members disagree
+    kGroupNoEligibleDrives,      ///< no drive admits every group member
+    kGroupCapacity,              ///< group size exceeds its eligible drives
+    kMovementMissingCurrentLayout,  ///< movement bound without a current layout
+    kMovementBudgetTooSmall,     ///< budget below the movement any valid layout needs
+  };
+  Kind kind = Kind::kUnknownObject;
+  std::vector<std::string> objects;  ///< involved object names
+  std::vector<std::string> disks;    ///< involved drive names (eligible set)
+  std::string message;               ///< full human-readable explanation
+  std::string fix_it;                ///< suggested remediation
+};
+
+/// Statically checks `constraints` for pre-search infeasibility: unknown
+/// object names, availability levels no drive provides, co-location groups
+/// with conflicting availability requirements, groups whose combined size
+/// exceeds the capacity of every drive set their members may use, and
+/// movement bounds that no valid layout can satisfy (missing current layout,
+/// or a budget smaller than the movement needed to repair an under-allocated
+/// or constraint-violating current layout). Returns every issue found, in a
+/// deterministic order; an empty result means the constraint set is not
+/// provably infeasible. Unlike ResolveConstraints this never fails — it is a
+/// diagnosis pass, not a resolution pass.
+std::vector<ConstraintIssue> CheckConstraintFeasibility(const Constraints& constraints,
+                                                        const Database& db,
+                                                        const DiskFleet& fleet);
+
 /// Verifies that `layout` satisfies `constraints` (used by tests and by the
 /// advisor before returning a recommendation).
 Status CheckConstraints(const Layout& layout, const ResolvedConstraints& constraints,

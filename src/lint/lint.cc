@@ -1,0 +1,106 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Result<LintSeverity> ParseLintSeverity(const std::string& text) {
+  const std::string t = ToLower(Trim(text));
+  if (t == "note") return LintSeverity::kNote;
+  if (t == "warn" || t == "warning") return LintSeverity::kWarning;
+  if (t == "error") return LintSeverity::kError;
+  return Status::InvalidArgument(
+      StrFormat("unknown severity '%s' (expected note, warn, or error)", text.c_str()));
+}
+
+std::string LintContext::ObjectName(size_t id) const {
+  const auto& objects = db().Objects();
+  if (id < objects.size()) return objects[id].name;
+  return StrFormat("object#%zu", id);
+}
+
+std::string LintContext::DiskName(int j) const {
+  if (input.fleet != nullptr && j >= 0 && j < input.fleet->num_disks()) {
+    return input.fleet->disk(j).name;
+  }
+  return StrFormat("drive#%d", j);
+}
+
+size_t LintReport::CountAtLeast(LintSeverity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity >= severity) ++n;
+  }
+  return n;
+}
+
+size_t LintReport::Count(LintSeverity severity) const {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+LintRunner::LintRunner(LintOptions options)
+    : options_(std::move(options)), rules_(DefaultLintRules()) {}
+
+void LintRunner::AddRule(std::unique_ptr<LintRule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+Result<LintReport> LintRunner::Run(const LintInput& input) const {
+  if (input.db == nullptr) {
+    return Status::InvalidArgument("lint requires a database (schema)");
+  }
+
+  LintContext ctx{input,   options_,        WorkloadProfile{}, {},
+                  WeightedGraph(0), false,  {}};
+  if (input.workload != nullptr) {
+    ctx.profile = AnalyzeWorkloadLenient(*input.db, *input.workload,
+                                         &ctx.unplannable, options_.optimizer);
+    if (!ctx.profile.statements.empty()) {
+      ctx.access_graph = BuildAccessGraph(ctx.profile);
+      ctx.has_access_graph = true;
+    }
+  }
+  if (input.constraints != nullptr && input.fleet != nullptr) {
+    ctx.constraint_issues =
+        CheckConstraintFeasibility(*input.constraints, *input.db, *input.fleet);
+  }
+
+  LintReport report;
+  for (const auto& rule : rules_) {
+    report.rules.push_back(
+        LintRuleInfo{rule->id(), rule->summary(), rule->severity()});
+    rule->Check(ctx, &report.diagnostics);
+  }
+  std::sort(report.rules.begin(), report.rules.end(),
+            [](const LintRuleInfo& a, const LintRuleInfo& b) { return a.id < b.id; });
+  // Most severe first; ties broken by rule id, then referenced objects, then
+  // message, so output is stable across runs and platforms.
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) return a.severity > b.severity;
+                     if (a.rule_id != b.rule_id) return a.rule_id < b.rule_id;
+                     if (a.objects != b.objects) return a.objects < b.objects;
+                     return a.message < b.message;
+                   });
+  return report;
+}
+
+}  // namespace dblayout

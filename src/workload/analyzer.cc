@@ -42,6 +42,46 @@ Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& work
   return profile;
 }
 
+WorkloadProfile AnalyzeWorkloadLenient(const Database& db, const Workload& workload,
+                                       std::vector<StatementAnalysisError>* errors,
+                                       const OptimizerOptions& options) {
+  WorkloadProfile profile;
+  profile.num_objects = db.Objects().size();
+  Optimizer optimizer(db, options);
+  for (size_t i = 0; i < workload.statements().size(); ++i) {
+    const WorkloadStatement& ws = workload.statement(i);
+    auto plan = optimizer.Plan(ws.parsed);
+    if (!plan.ok()) {
+      if (errors != nullptr) {
+        errors->push_back(StatementAnalysisError{i, ws.sql, plan.status()});
+      }
+      continue;
+    }
+    StatementProfile sp;
+    sp.sql = ws.sql;
+    sp.weight = ws.weight;
+    sp.stream = ws.stream;
+    sp.plan = std::move(plan).value();
+    sp.subplans = DecomposeIntoSubplans(*sp.plan);
+    profile.statements.push_back(std::move(sp));
+  }
+  return profile;
+}
+
+std::vector<bool> ReferencedObjects(const WorkloadProfile& profile) {
+  std::vector<bool> referenced(profile.num_objects, false);
+  for (const auto& s : profile.statements) {
+    for (const auto& sp : s.subplans) {
+      for (const auto& a : sp.accesses) {
+        if (a.object_id >= 0 && static_cast<size_t>(a.object_id) < referenced.size()) {
+          referenced[static_cast<size_t>(a.object_id)] = true;
+        }
+      }
+    }
+  }
+  return referenced;
+}
+
 WorkloadProfile MergeConcurrentStreams(const WorkloadProfile& profile) {
   WorkloadProfile out;
   out.num_objects = profile.num_objects;

@@ -43,6 +43,28 @@ struct WorkloadProfile {
 Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& workload,
                                         const OptimizerOptions& options = {});
 
+/// One workload statement the optimizer could not plan (usually a
+/// trace/schema mismatch: the statement references objects the schema does
+/// not define). Produced by AnalyzeWorkloadLenient.
+struct StatementAnalysisError {
+  size_t statement_index = 0;  ///< index into workload.statements()
+  std::string sql;
+  Status status;
+};
+
+/// Like AnalyzeWorkload, but statements that fail to plan are collected into
+/// `errors` (when non-null) instead of failing the whole analysis. The
+/// returned profile contains only the plannable statements. Used by the lint
+/// subsystem, which reports mismatched statements as diagnostics.
+WorkloadProfile AnalyzeWorkloadLenient(const Database& db, const Workload& workload,
+                                       std::vector<StatementAnalysisError>* errors,
+                                       const OptimizerOptions& options = {});
+
+/// Per-object flag: true if the profile's statements access object id `i`
+/// in any sub-plan. Objects never referenced by the workload get no say in
+/// the layout search and are flagged by lint.
+std::vector<bool> ReferencedObjects(const WorkloadProfile& profile);
+
 /// Concurrency extension (the paper's §9 "ongoing work"): models concurrent
 /// execution of statements tagged with different positive stream ids by
 /// zipping their pipelines round-robin. Pipelines active in the same round

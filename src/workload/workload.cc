@@ -1,7 +1,9 @@
 #include "workload/workload.h"
 
 #include <cstdlib>
+#include <functional>
 
+#include "common/logging.h"
 #include "common/strutil.h"
 #include "sql/parser.h"
 
@@ -25,14 +27,20 @@ bool Workload::HasConcurrencyStreams() const {
   return false;
 }
 
-Result<Workload> Workload::FromScript(const std::string& name,
-                                      const std::string& script) {
-  Workload wl(name);
-  // Split into statements on ';' / GO while tracking `-- weight:` and
-  // `-- stream:` comments.
+namespace {
+
+/// Shared script walker for FromScript / FromScriptLenient: splits on ';' /
+/// GO while tracking `-- weight:` / `-- stream:` directives. Every parse
+/// failure goes through `on_error(text, status)`, which returns true to keep
+/// walking (lenient mode) or false to abort with that status (strict mode).
+Status WalkScript(const std::string& script, Workload& wl,
+                  const std::function<bool(const std::string&, const Status&)>& on_error) {
   double pending_weight = 1.0;
   int pending_stream = 0;
   std::string current;
+  auto report = [&](const std::string& text, const Status& st) -> Status {
+    return on_error(text, st) ? Status::OK() : st;
+  };
   auto flush = [&]() -> Status {
     const std::string sql = Trim(current);
     current.clear();
@@ -42,7 +50,8 @@ Result<Workload> Workload::FromScript(const std::string& name,
     Status st = wl.Add(sql, pending_weight, pending_stream);
     pending_weight = 1.0;
     pending_stream = 0;
-    return st;
+    if (!st.ok()) return report(sql, st);
+    return Status::OK();
   };
   for (const std::string& raw_line : Split(script, '\n')) {
     const std::string line = Trim(raw_line);
@@ -50,14 +59,18 @@ Result<Workload> Workload::FromScript(const std::string& name,
     if (StartsWith(lower, "-- weight:")) {
       pending_weight = std::strtod(line.substr(10).c_str(), nullptr);
       if (pending_weight <= 0) {
-        return Status::ParseError(StrFormat("bad weight line '%s'", line.c_str()));
+        DBLAYOUT_RETURN_NOT_OK(report(
+            line, Status::ParseError(StrFormat("bad weight line '%s'", line.c_str()))));
+        pending_weight = 1.0;
       }
       continue;
     }
     if (StartsWith(lower, "-- stream:")) {
       pending_stream = std::atoi(line.substr(10).c_str());
       if (pending_stream <= 0) {
-        return Status::ParseError(StrFormat("bad stream line '%s'", line.c_str()));
+        DBLAYOUT_RETURN_NOT_OK(report(
+            line, Status::ParseError(StrFormat("bad stream line '%s'", line.c_str()))));
+        pending_stream = 0;
       }
       continue;
     }
@@ -78,6 +91,30 @@ Result<Workload> Workload::FromScript(const std::string& name,
     current += '\n';
   }
   DBLAYOUT_RETURN_NOT_OK(flush());
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Workload> Workload::FromScript(const std::string& name,
+                                      const std::string& script) {
+  Workload wl(name);
+  DBLAYOUT_RETURN_NOT_OK(WalkScript(
+      script, wl, [](const std::string&, const Status&) { return false; }));
+  return wl;
+}
+
+Workload Workload::FromScriptLenient(const std::string& name, const std::string& script,
+                                     std::vector<ScriptError>* errors) {
+  Workload wl(name);
+  const Status st = WalkScript(script, wl,
+                               [errors](const std::string& text, const Status& s) {
+                                 if (errors != nullptr) {
+                                   errors->push_back(ScriptError{text, s});
+                                 }
+                                 return true;
+                               });
+  DBLAYOUT_CHECK(st.ok());  // the lenient walker swallows every error
   return wl;
 }
 

@@ -39,6 +39,20 @@ class Workload {
   /// immediately before a statement set that statement's weight / stream.
   static Result<Workload> FromScript(const std::string& name, const std::string& script);
 
+  /// One statement (or weight/stream directive) of a script that could not
+  /// be parsed; produced by FromScriptLenient.
+  struct ScriptError {
+    std::string text;  ///< the offending statement or directive line
+    Status status;
+  };
+
+  /// Like FromScript, but statements (and weight/stream directives) that
+  /// fail to parse are collected into `errors` (when non-null) instead of
+  /// failing the whole script. Used by the lint subsystem, which reports
+  /// unparsable statements as diagnostics rather than refusing the workload.
+  static Workload FromScriptLenient(const std::string& name, const std::string& script,
+                                    std::vector<ScriptError>* errors);
+
   /// True if any statement carries a positive stream tag.
   bool HasConcurrencyStreams() const;
 

@@ -27,6 +27,7 @@
 #include "engine/execution_sim.h"
 #include "layout/advisor.h"
 #include "layout/filegroup_script.h"
+#include "lint/lint.h"
 #include "sql/ddl.h"
 #include "workload/analyzer.h"
 #include "workload/trace.h"
@@ -50,9 +51,108 @@ int Usage(const char* argv0) {
                "          [--co-locate A,B]... [--avail OBJ=LEVEL]...\n"
                "          [--max-move FRACTION] [--greedy-k K]\n"
                "          [--explain] [--simulate] [--dump-schema] [--emit-script]\n"
-               "          [--concurrency] [--save-layout FILE] [--evaluate FILE]\n",
+               "          [--concurrency] [--save-layout FILE] [--evaluate FILE]\n"
+               "          [--lint] [--format text|json|sarif] [--fail-on note|warn|error]\n",
                argv0);
   return 2;
+}
+
+/// Lint-mode input failures exit 2 (like usage errors); findings exit 1.
+int LintFail(const char* what, const Status& st) {
+  std::fprintf(stderr, "lint: %s: %s\n", what, st.ToString().c_str());
+  return 2;
+}
+
+/// `dblayout_cli --lint`: loads everything leniently, runs the lint rules,
+/// renders in the requested format, and exits 0 (clean below the --fail-on
+/// threshold), 1 (findings at or above it), or 2 (unusable inputs).
+int RunLint(const std::string& schema_path, const std::string& workload_path,
+            const std::string& trace_path, const std::string& disks_path,
+            const std::string& evaluate_path, bool concurrency,
+            AdvisorOptions options, double max_move, const std::string& format,
+            const std::string& fail_on) {
+  const auto threshold = ParseLintSeverity(fail_on);
+  if (!threshold.ok()) return LintFail("--fail-on", threshold.status());
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr,
+                 "lint: unknown --format '%s' (expected text, json, or sarif)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  auto schema_text = ReadFile(schema_path);
+  if (!schema_text.ok()) return LintFail("schema", schema_text.status());
+  auto db = ParseSchemaScript("database", schema_text.value());
+  if (!db.ok()) return LintFail("schema", db.status());
+
+  std::vector<Workload::ScriptError> script_errors;
+  Result<Workload> wl = Status::Internal("unset");
+  if (!trace_path.empty()) {
+    auto trace_text = ReadFile(trace_path);
+    if (!trace_text.ok()) return LintFail("trace", trace_text.status());
+    TraceOptions topt;
+    topt.sessions_as_streams = concurrency;
+    wl = WorkloadFromTrace("trace", trace_text.value(), topt);
+    if (!wl.ok()) return LintFail("trace", wl.status());
+  } else {
+    auto workload_text = ReadFile(workload_path);
+    if (!workload_text.ok()) return LintFail("workload", workload_text.status());
+    wl = Workload::FromScriptLenient("workload", workload_text.value(),
+                                     &script_errors);
+  }
+
+  auto disks_text = ReadFile(disks_path);
+  if (!disks_text.ok()) return LintFail("disks", disks_text.status());
+  auto fleet = DiskFleet::FromSpec(disks_text.value());
+  if (!fleet.ok()) return LintFail("disks", fleet.status());
+
+  Layout current;
+  if (max_move >= 0) {
+    current = Layout::FullStriping(static_cast<int>(db->Objects().size()),
+                                   fleet.value());
+    options.constraints.current_layout = &current;
+    options.constraints.max_movement_fraction = max_move;
+  }
+
+  Layout manual;
+  bool have_layout = false;
+  if (!evaluate_path.empty()) {
+    auto csv = ReadFile(evaluate_path);
+    if (!csv.ok()) return LintFail("layout", csv.status());
+    std::vector<std::string> object_names;
+    for (const auto& o : db->Objects()) object_names.push_back(o.name);
+    auto parsed = Layout::FromCsv(csv.value(), object_names, fleet.value());
+    if (!parsed.ok()) return LintFail("layout", parsed.status());
+    manual = std::move(parsed.value());
+    have_layout = true;
+  }
+
+  LintOptions lint_options;
+  lint_options.optimizer = options.optimizer;
+  const LintRunner runner(lint_options);
+  LintInput input;
+  input.db = &db.value();
+  input.workload = &wl.value();
+  input.script_errors = &script_errors;
+  input.fleet = &fleet.value();
+  input.constraints = &options.constraints;
+  if (have_layout) {
+    input.layout = &manual;
+    input.layout_label = evaluate_path;
+  }
+  const auto report = runner.Run(input);
+  if (!report.ok()) return LintFail("run", report.status());
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = RenderLintJson(report.value());
+  } else if (format == "sarif") {
+    rendered = RenderLintSarif(report.value());
+  } else {
+    rendered = RenderLintText(report.value());
+  }
+  std::fputs(rendered.c_str(), stdout);
+  return report->CountAtLeast(threshold.value()) > 0 ? 1 : 0;
 }
 
 }  // namespace
@@ -62,6 +162,8 @@ int main(int argc, char** argv) {
   bool concurrency = false;
   AdvisorOptions options;
   bool explain = false, simulate = false, dump_schema = false, emit_script = false;
+  bool lint = false;
+  std::string format = "text", fail_on = "error";
   std::string save_layout_path, evaluate_path;
   double max_move = -1;
 
@@ -142,6 +244,20 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage(argv[0]);
       evaluate_path = v;
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      format = v;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--fail-on") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      fail_on = v;
+    } else if (arg.rfind("--fail-on=", 0) == 0) {
+      fail_on = arg.substr(10);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -150,6 +266,12 @@ int main(int argc, char** argv) {
   if (schema_path.empty() || disks_path.empty() ||
       (workload_path.empty() == trace_path.empty())) {
     return Usage(argv[0]);  // exactly one of --workload / --trace
+  }
+
+  if (lint) {
+    return RunLint(schema_path, workload_path, trace_path, disks_path,
+                   evaluate_path, concurrency, options, max_move, format,
+                   fail_on);
   }
 
   auto fail = [](const char* what, const Status& st) {
@@ -206,6 +328,24 @@ int main(int argc, char** argv) {
     std::printf("%s\n",
                 AccessGraphToString(BuildAccessGraph(profile.value()), db.value())
                     .c_str());
+  }
+
+  // Automatic lint pass before the advisor search: findings go to stderr so
+  // they are visible next to the recommendation without perturbing stdout
+  // parsers. Hard infeasibilities additionally fail the advisor below.
+  {
+    LintOptions lint_options;
+    lint_options.optimizer = options.optimizer;
+    const LintRunner runner(lint_options);
+    LintInput input;
+    input.db = &db.value();
+    input.workload = &wl.value();
+    input.fleet = &fleet.value();
+    input.constraints = &options.constraints;
+    const auto pre = runner.Run(input);
+    if (pre.ok() && !pre->diagnostics.empty()) {
+      std::fprintf(stderr, "%s", RenderLintText(pre.value()).c_str());
+    }
   }
 
   LayoutAdvisor advisor(db.value(), fleet.value(), options);

@@ -5,10 +5,12 @@
 #   1. -Werror build          (-Wall -Wextra promoted to errors)
 #   2. clang-tidy             over the compile database (skipped with a
 #                             warning when clang-tidy is not installed)
-#   3. ASan+UBSan build+ctest (DBLAYOUT_SANITIZE=address,undefined; the AUTO
+#   3. layout lint            (tools/run_lint.sh over examples/data and the
+#                             pathology fixtures, via the werror build's CLI)
+#   4. ASan+UBSan build+ctest (DBLAYOUT_SANITIZE=address,undefined; the AUTO
 #                             dcheck policy also enables the runtime
 #                             invariant audits in this pass)
-#   4. TSan build+ctest       (optional, --thread; preset for the future
+#   5. TSan build+ctest       (optional, --thread; preset for the future
 #                             parallel search work)
 #
 # Usage: tools/run_analysis.sh [--source DIR] [--build-root DIR]
@@ -89,11 +91,16 @@ configure_and_build werror
 if [[ "${RUN_TIDY}" -eq 1 ]]; then run_clang_tidy; fi
 if [[ "${TIDY_ONLY}" -eq 1 ]]; then log "tidy-only: done"; exit 0; fi
 
-# 3. AddressSanitizer + UndefinedBehaviorSanitizer, with invariant audits on.
+# 3. Layout lint gate: example data plus the seeded-pathology fixtures.
+log "layout lint (tools/run_lint.sh)"
+bash "${SOURCE_DIR}/tools/run_lint.sh" \
+  --cli "${BUILD_ROOT}/werror/tools/dblayout_cli" || fail "layout lint"
+
+# 4. AddressSanitizer + UndefinedBehaviorSanitizer, with invariant audits on.
 configure_and_build asan-ubsan "-DDBLAYOUT_SANITIZE=address,undefined"
 run_tests asan-ubsan
 
-# 4. ThreadSanitizer preset (opt-in until the search goes parallel).
+# 5. ThreadSanitizer preset (opt-in until the search goes parallel).
 if [[ "${RUN_THREAD}" -eq 1 ]]; then
   configure_and_build tsan "-DDBLAYOUT_SANITIZE=thread"
   run_tests tsan
