@@ -42,6 +42,7 @@ int main() {
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"workload", "estimated improvement", "simulated improvement",
                   "paper (estimated)", "TS-GREEDY == striping?"});
+  BenchJson json("fig10");
 
   for (const Case& c : cases) {
     DiskFleet fleet = DiskFleet::Heterogeneous(8, 0.3, 42);
@@ -56,8 +57,21 @@ int main() {
                     StrFormat("%.1f%%", rec.ImprovementVsFullStripingPct()),
                     StrFormat("%.1f%%", ImprovementPct(sim_fs, sim_rec)), c.paper,
                     rec.layout.ApproxEquals(rec.full_striping, 1e-6) ? "yes" : "no"});
+    json.Add(c.name,
+             {{"estimated_improvement_pct",
+               StrFormat("%.3f", rec.ImprovementVsFullStripingPct())},
+              {"simulated_improvement_pct",
+               StrFormat("%.3f", ImprovementPct(sim_fs, sim_rec))},
+              {"estimated_cost_ms", StrFormat("%.3f", rec.estimated_cost_ms)},
+              {"full_striping_cost_ms",
+               StrFormat("%.3f", rec.full_striping_cost_ms)},
+              {"greedy_iterations", StrFormat("%d", rec.greedy_iterations)},
+              {"layouts_evaluated",
+               StrFormat("%lld", static_cast<long long>(rec.layouts_evaluated))}},
+             &rec.telemetry);
   }
 
   PrintTable("Figure 10: quality of TS-GREEDY vs FULL STRIPING (8 drives)", rows);
+  json.Write();
   return 0;
 }

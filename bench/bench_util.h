@@ -6,7 +6,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/strutil.h"
@@ -62,6 +65,103 @@ T Unwrap(Result<T> result, const char* what) {
   }
   return std::move(result).value();
 }
+
+/// Minimal JSON string escaping for bench record fields.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Serializes a search's SearchTelemetry as a JSON object: moves considered
+/// and accepted by kind, rejections, mode flags, the cost trajectory, and
+/// the workload cache-ability stats.
+inline std::string TelemetryJson(const SearchTelemetry& t) {
+  std::string traj = "[";
+  for (size_t i = 0; i < t.cost_trajectory.size(); ++i) {
+    if (i > 0) traj += ',';
+    traj += StrFormat("%.6g", t.cost_trajectory[i]);
+  }
+  traj += ']';
+  return StrFormat(
+      "{\"widen_considered\":%lld,\"widen_accepted\":%lld,"
+      "\"jump_considered\":%lld,\"jump_accepted\":%lld,"
+      "\"narrow_considered\":%lld,\"narrow_accepted\":%lld,"
+      "\"migrate_considered\":%lld,\"migrate_accepted\":%lld,"
+      "\"capacity_rejected\":%lld,\"movement_rejected\":%lld,"
+      "\"used_full_striping_fallback\":%s,\"used_incremental_migration\":%s,"
+      "\"statements\":%lld,\"subplans\":%lld,\"distinct_signatures\":%lld,"
+      "\"cost_trajectory\":%s}",
+      static_cast<long long>(t.widen_considered),
+      static_cast<long long>(t.widen_accepted),
+      static_cast<long long>(t.jump_considered),
+      static_cast<long long>(t.jump_accepted),
+      static_cast<long long>(t.narrow_considered),
+      static_cast<long long>(t.narrow_accepted),
+      static_cast<long long>(t.migrate_considered),
+      static_cast<long long>(t.migrate_accepted),
+      static_cast<long long>(t.capacity_rejected),
+      static_cast<long long>(t.movement_rejected),
+      t.used_full_striping_fallback ? "true" : "false",
+      t.used_incremental_migration ? "true" : "false",
+      static_cast<long long>(t.statements), static_cast<long long>(t.subplans),
+      static_cast<long long>(t.distinct_signatures), traj.c_str());
+}
+
+/// Collects one JSON record per bench case and writes them as a JSON array
+/// to BENCH_<name>.json in the working directory. Machine-readable companion
+/// of PrintTable: downstream tooling diffs these across runs.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// `fields` are (key, already-serialized JSON value) pairs — pass numbers
+  /// unquoted ("12.5") and use JsonQuote for strings.
+  void Add(const std::string& case_name,
+           const std::vector<std::pair<std::string, std::string>>& fields,
+           const SearchTelemetry* telemetry = nullptr) {
+    std::string rec = StrFormat("{\"case\":%s", JsonQuote(case_name).c_str());
+    for (const auto& [key, value] : fields) {
+      rec += StrFormat(",%s:%s", JsonQuote(key).c_str(), value.c_str());
+    }
+    if (telemetry != nullptr) {
+      rec += StrFormat(",\"telemetry\":%s", TelemetryJson(*telemetry).c_str());
+    }
+    rec += '}';
+    records_.push_back(std::move(rec));
+  }
+
+  /// Writes BENCH_<name>.json; prints the path so runs are discoverable.
+  void Write() const {
+    const std::string path = StrFormat("BENCH_%s.json", name_.c_str());
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    out << StrFormat("{\"bench\":%s,\"records\":[", JsonQuote(name_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (i > 0) out << ',';
+      out << records_[i];
+    }
+    out << "]}\n";
+    std::printf("bench records written to %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace dblayout::bench
 

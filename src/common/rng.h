@@ -5,11 +5,26 @@
 #ifndef DBLAYOUT_COMMON_RNG_H_
 #define DBLAYOUT_COMMON_RNG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <random>
 #include <vector>
 
 namespace dblayout {
+
+/// Process-wide default seed for components that are not handed an explicit
+/// one. Set once at startup (`dblayout_cli --seed N`) and logged into the
+/// trace metadata so any run can be reproduced. Defaults to 0.
+inline std::atomic<uint64_t>& GlobalSeedStorage() {
+  static std::atomic<uint64_t> seed{0};
+  return seed;
+}
+inline uint64_t GlobalSeed() {
+  return GlobalSeedStorage().load(std::memory_order_relaxed);
+}
+inline void SetGlobalSeed(uint64_t seed) {
+  GlobalSeedStorage().store(seed, std::memory_order_relaxed);
+}
 
 /// Thin deterministic wrapper over std::mt19937_64 with the handful of
 /// sampling helpers the library needs.

@@ -6,6 +6,8 @@
 
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dblayout {
 
@@ -47,6 +49,7 @@ class UnionFind {
 }  // namespace
 
 Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& options) {
+  DBLAYOUT_TRACE_SPAN("graph/max_cut_partition");
   const size_t n = g.num_nodes();
   const int p = std::max(1, options.num_partitions);
   Partitioning part(n, 0);
@@ -126,7 +129,10 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   // KL-style improvement: repeatedly apply the best positive-gain single
   // supernode move; a full pass with no improvement terminates.
   constexpr double kEps = 1e-9;
+  int64_t kl_passes = 0;
+  int64_t kl_moves = 0;
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++kl_passes;
     bool improved = false;
     for (size_t u = 0; u < sn; ++u) {
       std::vector<double> connection(static_cast<size_t>(p), 0.0);
@@ -145,11 +151,14 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
       }
       if (best != sp[u]) {
         sp[u] = best;
+        ++kl_moves;
         improved = true;
       }
     }
     if (!improved) break;
   }
+  DBLAYOUT_OBS_COUNT("graph/kl_passes", kl_passes);
+  DBLAYOUT_OBS_COUNT("graph/kl_moves", kl_moves);
 
   for (size_t u = 0; u < n; ++u) part[u] = sp[super_of[u]];
   // Debug-build audit: every node labeled in range and co-location intact

@@ -4,11 +4,14 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dblayout {
 
 double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
                            const SimOptions& options) {
+  DBLAYOUT_OBS_COUNT("io/disk_streams", static_cast<int64_t>(streams.size()));
   double time_ms = 0;
 
   // Random streams: every block is a scattered access; read-ahead cannot
@@ -83,6 +86,7 @@ double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& st
 double SimulatePipeline(const DiskFleet& fleet,
                         const std::vector<std::vector<DiskStream>>& per_disk_streams,
                         const SimOptions& options) {
+  DBLAYOUT_TRACE_SPAN("io/simulate_pipeline");
   DBLAYOUT_CHECK(static_cast<int>(per_disk_streams.size()) == fleet.num_disks());
   double max_ms = 0;
   for (int j = 0; j < fleet.num_disks(); ++j) {

@@ -5,6 +5,7 @@
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 #include "common/strutil.h"
+#include "obs/trace.h"
 
 namespace dblayout {
 
@@ -19,6 +20,7 @@ Result<Recommendation> LayoutAdvisor::Recommend(const Workload& workload) const 
 
 Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
     const WorkloadProfile& profile) const {
+  DBLAYOUT_TRACE_SPAN("advisor/recommend");
   if (profile.statements.empty()) {
     return Status::InvalidArgument("workload profile is empty");
   }
@@ -72,6 +74,13 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   rec.estimated_cost_ms = sr.cost;
   rec.greedy_iterations = sr.greedy_iterations;
   rec.layouts_evaluated = sr.layouts_evaluated;
+  rec.telemetry = std::move(sr.telemetry);
+  // Cache-ability of the *searched* objective: how far CompressProfile did
+  // (or could) shrink the statement set the cost model actually saw.
+  const ProfileAccessStats pstats = ComputeProfileStats(*objective);
+  rec.telemetry.statements = pstats.statements;
+  rec.telemetry.subplans = pstats.subplans;
+  rec.telemetry.distinct_signatures = pstats.distinct_signatures;
   rec.full_striping =
       Layout::FullStriping(static_cast<int>(db_.Objects().size()), fleet_);
 

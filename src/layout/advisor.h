@@ -59,6 +59,9 @@ struct Recommendation {
   int greedy_iterations = 0;
   int64_t layouts_evaluated = 0;
   std::vector<StatementImpact> per_statement;
+  /// Search introspection (moves by kind, cost trajectory) plus workload
+  /// cache-ability stats, carried from the search into bench JSON records.
+  SearchTelemetry telemetry;
 
   /// Estimated % improvement in total I/O response time vs full striping.
   double ImprovementVsFullStripingPct() const {

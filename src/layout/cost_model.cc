@@ -1,16 +1,19 @@
 #include "layout/cost_model.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace dblayout {
 
 double CostModel::SubplanCost(const SubplanAccess& subplan, const Layout& layout) const {
   double max_cost = 0;
+  double max_transfer = 0, max_seek = 0;  ///< breakdown at the max disk
   for (int j = 0; j < fleet_.num_disks(); ++j) {
     const DiskDrive& d = fleet_.disk(j);
     double transfer = 0;
@@ -34,7 +37,22 @@ double CostModel::SubplanCost(const SubplanAccess& subplan, const Layout& layout
     // corrupted layout fraction or drive parameter reached the hot path.
     DBLAYOUT_DCHECK(std::isfinite(transfer) && transfer >= 0);
     DBLAYOUT_DCHECK(std::isfinite(seek) && seek >= 0);
-    max_cost = std::max(max_cost, transfer + seek);
+    if (transfer + seek > max_cost) {
+      max_cost = transfer + seek;
+      max_transfer = transfer;
+      max_seek = seek;
+    }
+  }
+  // Per-sub-plan breakdown of the binding (max) disk: whether the Section 5
+  // seek term or the transfer term dominates the sub-plan's response time.
+  DBLAYOUT_OBS_COUNT("cost_model/subplan_evals", 1);
+  if (max_cost > 0) {
+    if (max_seek >= max_transfer) {
+      DBLAYOUT_OBS_COUNT("cost_model/subplan_seek_bound", 1);
+    } else {
+      DBLAYOUT_OBS_COUNT("cost_model/subplan_transfer_bound", 1);
+    }
+    DBLAYOUT_OBS_OBSERVE("cost_model/subplan_cost_ms", max_cost);
   }
   // Debug-build audit: independent recomputation must agree that the
   // sub-plan costs the max over disks (guards future incremental or
@@ -55,11 +73,22 @@ double CostModel::StatementCost(const StatementProfile& statement,
 
 double CostModel::WorkloadCost(const WorkloadProfile& profile,
                                const Layout& layout) const {
+  workload_evals_.fetch_add(1, std::memory_order_relaxed);
+  const bool timed = obs::Enabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   double total = 0;
   for (const StatementProfile& s : profile.statements) {
     total += s.weight * StatementCost(s, layout);
   }
   DBLAYOUT_DCHECK(std::isfinite(total) && total >= 0);
+  if (timed) {
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    DBLAYOUT_OBS_OBSERVE("cost_model/workload_cost_us", us);
+    DBLAYOUT_OBS_COUNT("cost_model/workload_evals", 1);
+  }
   return total;
 }
 

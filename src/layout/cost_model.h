@@ -14,6 +14,9 @@
 #ifndef DBLAYOUT_LAYOUT_COST_MODEL_H_
 #define DBLAYOUT_LAYOUT_COST_MODEL_H_
 
+#include <atomic>
+#include <cstdint>
+
 #include "catalog/catalog.h"
 #include "storage/disk.h"
 #include "storage/layout.h"
@@ -36,10 +39,20 @@ class CostModel {
   /// sum_Q w_Q * Cost(Q, L) — the objective of Fig. 2.
   double WorkloadCost(const WorkloadProfile& profile, const Layout& layout) const;
 
+  /// Number of WorkloadCost invocations made through this instance. The
+  /// search derives SearchResult::layouts_evaluated from this counter so
+  /// every full-workload evaluation — greedy candidates, migration steps,
+  /// the final full-striping fallback — is counted uniformly at the source
+  /// instead of by ad-hoc increments at each call site.
+  int64_t WorkloadEvaluations() const {
+    return workload_evals_.load(std::memory_order_relaxed);
+  }
+
   const DiskFleet& fleet() const { return fleet_; }
 
  private:
   const DiskFleet& fleet_;
+  mutable std::atomic<int64_t> workload_evals_{0};
 };
 
 }  // namespace dblayout

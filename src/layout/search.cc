@@ -10,12 +10,84 @@
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "graph/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dblayout {
 
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// The move kinds of the greedy step (Fig. 9 widening plus this
+/// reproduction's jump and narrowing extensions), for telemetry.
+enum class MoveKind { kWiden, kJump, kNarrow };
+
+const char* MoveKindName(MoveKind kind) {
+  switch (kind) {
+    case MoveKind::kWiden: return "widen";
+    case MoveKind::kJump: return "jump";
+    case MoveKind::kNarrow: return "narrow";
+  }
+  return "?";
+}
+
+int64_t& ConsideredSlot(SearchTelemetry& t, MoveKind kind) {
+  switch (kind) {
+    case MoveKind::kWiden: return t.widen_considered;
+    case MoveKind::kJump: return t.jump_considered;
+    case MoveKind::kNarrow: return t.narrow_considered;
+  }
+  return t.widen_considered;
+}
+
+int64_t& AcceptedSlot(SearchTelemetry& t, MoveKind kind) {
+  switch (kind) {
+    case MoveKind::kWiden: return t.widen_accepted;
+    case MoveKind::kJump: return t.jump_accepted;
+    case MoveKind::kNarrow: return t.narrow_accepted;
+  }
+  return t.widen_accepted;
+}
+
+/// Accumulates the move counts, rejections, flags, and trajectory of `from`
+/// into `*into` (used to fold the unconstrained probe search's telemetry
+/// into the overall run's).
+void MergeTelemetry(const SearchTelemetry& from, SearchTelemetry* into) {
+  into->widen_considered += from.widen_considered;
+  into->widen_accepted += from.widen_accepted;
+  into->jump_considered += from.jump_considered;
+  into->jump_accepted += from.jump_accepted;
+  into->narrow_considered += from.narrow_considered;
+  into->narrow_accepted += from.narrow_accepted;
+  into->migrate_considered += from.migrate_considered;
+  into->migrate_accepted += from.migrate_accepted;
+  into->capacity_rejected += from.capacity_rejected;
+  into->movement_rejected += from.movement_rejected;
+  into->used_full_striping_fallback |= from.used_full_striping_fallback;
+  into->used_incremental_migration |= from.used_incremental_migration;
+  into->cost_trajectory.insert(into->cost_trajectory.end(),
+                               from.cost_trajectory.begin(),
+                               from.cost_trajectory.end());
+}
+
+/// Flushes the per-run telemetry into the global metrics registry (one
+/// counter add per field, not one per move, so the hot loop stays clean).
+void PublishSearchMetrics(const SearchTelemetry& t) {
+  DBLAYOUT_OBS_COUNT("search/moves_considered/widen", t.widen_considered);
+  DBLAYOUT_OBS_COUNT("search/moves_considered/jump", t.jump_considered);
+  DBLAYOUT_OBS_COUNT("search/moves_considered/narrow", t.narrow_considered);
+  DBLAYOUT_OBS_COUNT("search/moves_considered/migrate", t.migrate_considered);
+  DBLAYOUT_OBS_COUNT("search/moves_accepted/widen", t.widen_accepted);
+  DBLAYOUT_OBS_COUNT("search/moves_accepted/jump", t.jump_accepted);
+  DBLAYOUT_OBS_COUNT("search/moves_accepted/narrow", t.narrow_accepted);
+  DBLAYOUT_OBS_COUNT("search/moves_accepted/migrate", t.migrate_accepted);
+  DBLAYOUT_OBS_COUNT("search/candidates_capacity_rejected", t.capacity_rejected);
+  DBLAYOUT_OBS_COUNT("search/candidates_movement_rejected", t.movement_rejected);
+  if (t.used_full_striping_fallback) {
+    DBLAYOUT_OBS_COUNT("search/full_striping_fallbacks", 1);
+  }
+}
 
 /// Fractional blocks used on every drive by `layout`.
 std::vector<double> FractionalUsed(const Layout& layout,
@@ -79,6 +151,7 @@ std::vector<std::vector<int>> ObjectGroups(size_t num_objects,
 
 Result<Layout> TsGreedySearch::InitialLayout(
     const WorkloadProfile& profile, const ResolvedConstraints& constraints) const {
+  DBLAYOUT_TRACE_SPAN("search/initial_layout");
   const auto& objects = db_.Objects();
   const std::vector<int64_t> sizes = db_.ObjectSizes();
   const int n = static_cast<int>(objects.size());
@@ -214,22 +287,26 @@ Result<Layout> TsGreedySearch::InitialLayout(
 
 Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
                                            const ResolvedConstraints& constraints,
-                                           Layout layout, SearchResult* stats) const {
+                                           Layout layout, const CostModel& cost_model,
+                                           SearchResult* stats) const {
+  DBLAYOUT_TRACE_SPAN("search/greedy_widen");
   const std::vector<int64_t> sizes = db_.ObjectSizes();
-  const CostModel cost_model(fleet_);
   const std::vector<std::vector<int>> groups =
       ObjectGroups(db_.Objects().size(), constraints);
+  SearchTelemetry& telemetry = stats->telemetry;
 
   double cost = cost_model.WorkloadCost(profile, layout);
-  ++stats->layouts_evaluated;
   stats->initial_cost = cost;
+  telemetry.cost_trajectory.push_back(cost);
 
   std::vector<double> used = FractionalUsed(layout, sizes);
 
   for (int iter = 0; iter < options_.max_greedy_iterations; ++iter) {
+    DBLAYOUT_TRACE_SPAN("search/greedy_iteration");
     double best_cost = cost;
     Layout best_layout;
     std::vector<double> best_used;
+    MoveKind best_kind = MoveKind::kWiden;
     bool found = false;
 
     for (const auto& group : groups) {
@@ -241,7 +318,7 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
         }
       }
 
-      auto consider_set = [&](const std::vector<int>& disk_set) {
+      auto consider_set = [&](const std::vector<int>& disk_set, MoveKind kind) {
         Layout candidate = layout;
         for (int i : group) candidate.AssignProportional(i, disk_set, fleet_);
 
@@ -258,6 +335,7 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
           if (cand_used[static_cast<size_t>(j)] >
               static_cast<double>(fleet_.disk(j).capacity_blocks) *
                   options_.capacity_margin) {
+            ++telemetry.capacity_rejected;
             return;  // violates capacity
           }
         }
@@ -265,15 +343,19 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
             constraints.current_layout != nullptr) {
           const double moved = Layout::DataMovementBlocks(
               *constraints.current_layout, candidate, sizes);
-          if (moved > constraints.max_movement_blocks) return;
+          if (moved > constraints.max_movement_blocks) {
+            ++telemetry.movement_rejected;
+            return;
+          }
         }
 
         const double c = cost_model.WorkloadCost(profile, candidate);
-        ++stats->layouts_evaluated;
+        ++ConsideredSlot(telemetry, kind);
         if (c < best_cost - kEps) {
           best_cost = c;
           best_layout = std::move(candidate);
           best_used = std::move(cand_used);
+          best_kind = kind;
           found = true;
         }
       };
@@ -281,7 +363,7 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
         std::vector<int> wider = current;
         wider.insert(wider.end(), add.begin(), add.end());
         std::sort(wider.begin(), wider.end());
-        consider_set(wider);
+        consider_set(wider, MoveKind::kWiden);
       };
       if (!extras.empty()) {
         ForEachSubsetUpToK(extras, options_.greedy_k, consider_add);
@@ -307,7 +389,7 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
             prefix.push_back(j);
             std::vector<int> sorted_prefix = prefix;
             std::sort(sorted_prefix.begin(), sorted_prefix.end());
-            if (sorted_prefix != current) consider_set(sorted_prefix);
+            if (sorted_prefix != current) consider_set(sorted_prefix, MoveKind::kJump);
           }
         }
       }
@@ -317,7 +399,7 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
           for (size_t j = 0; j < current.size(); ++j) {
             if (j != drop) narrower.push_back(current[j]);
           }
-          consider_set(narrower);
+          consider_set(narrower, MoveKind::kNarrow);
         }
       }
     }
@@ -327,6 +409,17 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
     used = std::move(best_used);
     cost = best_cost;
     ++stats->greedy_iterations;
+    ++AcceptedSlot(telemetry, best_kind);
+    telemetry.cost_trajectory.push_back(cost);
+    if (options_.progress_hook) {
+      SearchProgress progress;
+      progress.phase = "greedy";
+      progress.iteration = stats->greedy_iterations;
+      progress.best_cost = cost;
+      progress.layouts_evaluated = cost_model.WorkloadEvaluations();
+      progress.accepted_move = MoveKindName(best_kind);
+      options_.progress_hook(progress);
+    }
     if (options_.post_move_hook_for_test) options_.post_move_hook_for_test(layout);
     // Debug-build audit: every accepted widening/narrowing/jump move must
     // leave the fraction matrix fully allocated and non-negative.
@@ -338,12 +431,13 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
 
 Result<Layout> TsGreedySearch::MigrateTowardTarget(
     const WorkloadProfile& profile, const ResolvedConstraints& constraints,
-    const Layout& target, SearchResult* stats) const {
+    const Layout& target, const CostModel& cost_model, SearchResult* stats) const {
+  DBLAYOUT_TRACE_SPAN("search/migrate_toward_target");
   DBLAYOUT_CHECK(constraints.current_layout != nullptr);
   const std::vector<int64_t> sizes = db_.ObjectSizes();
-  const CostModel cost_model(fleet_);
   const std::vector<std::vector<int>> groups =
       ObjectGroups(db_.Objects().size(), constraints);
+  stats->telemetry.used_incremental_migration = true;
 
   Layout layout = *constraints.current_layout;
 
@@ -378,7 +472,6 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
   }
 
   double cost = cost_model.WorkloadCost(profile, layout);
-  ++stats->layouts_evaluated;
 
   // Candidate move units: single groups, plus pairs of groups connected in
   // the access graph — separating a co-accessed pair only pays off when
@@ -421,11 +514,15 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
                                                       candidate, sizes);
       if (constraints.max_movement_blocks >= 0 &&
           moved > constraints.max_movement_blocks) {
+        ++stats->telemetry.movement_rejected;
         continue;
       }
-      if (!candidate.Validate(sizes, fleet_).ok()) continue;
+      if (!candidate.Validate(sizes, fleet_).ok()) {
+        ++stats->telemetry.capacity_rejected;
+        continue;
+      }
       const double c = cost_model.WorkloadCost(profile, candidate);
-      ++stats->layouts_evaluated;
+      ++stats->telemetry.migrate_considered;
       const double step_moved = std::max(
           1.0, Layout::DataMovementBlocks(layout, candidate, sizes));
       const double ratio = (cost - c) / step_moved;
@@ -441,6 +538,17 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     cost = best_cost;
     for (size_t gi : units[best_unit]) migrated[gi] = true;
     ++stats->greedy_iterations;
+    ++stats->telemetry.migrate_accepted;
+    stats->telemetry.cost_trajectory.push_back(cost);
+    if (options_.progress_hook) {
+      SearchProgress progress;
+      progress.phase = "migrate";
+      progress.iteration = stats->greedy_iterations;
+      progress.best_cost = cost;
+      progress.layouts_evaluated = cost_model.WorkloadEvaluations();
+      progress.accepted_move = "migrate";
+      options_.progress_hook(progress);
+    }
     // Debug-build audit: each accepted migration step stays a valid matrix.
     DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
   }
@@ -451,7 +559,13 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
 
 Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
                                          const ResolvedConstraints& constraints) const {
+  DBLAYOUT_TRACE_SPAN("search/run");
   SearchResult result;
+  // One cost model for the whole run: SearchResult::layouts_evaluated is read
+  // off its WorkloadEvaluations() counter at the end, so every evaluation —
+  // probe search, migration steps, greedy candidates, the full-striping
+  // fallback — counts exactly once.
+  const CostModel cost_model(fleet_);
   DBLAYOUT_ASSIGN_OR_RETURN(Layout initial, InitialLayout(profile, constraints));
 
   const std::vector<int64_t> sizes = db_.ObjectSizes();
@@ -468,17 +582,21 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
       unconstrained.current_layout = nullptr;
       SearchResult target_stats;
       DBLAYOUT_ASSIGN_OR_RETURN(
-          Layout target,
-          GreedyWiden(profile, unconstrained, std::move(initial), &target_stats));
-      result.layouts_evaluated += target_stats.layouts_evaluated;
+          Layout target, GreedyWiden(profile, unconstrained, std::move(initial),
+                                     cost_model, &target_stats));
+      // Keep the probe search's move counts and trajectory: they are real
+      // evaluations of this run (the trajectory of the migration phase that
+      // follows is appended after the probe's).
+      MergeTelemetry(target_stats.telemetry, &result.telemetry);
       DBLAYOUT_ASSIGN_OR_RETURN(
-          initial, MigrateTowardTarget(profile, constraints, target, &result));
+          initial,
+          MigrateTowardTarget(profile, constraints, target, cost_model, &result));
     }
   }
 
   DBLAYOUT_ASSIGN_OR_RETURN(
       Layout final_layout,
-      GreedyWiden(profile, constraints, std::move(initial), &result));
+      GreedyWiden(profile, constraints, std::move(initial), cost_model, &result));
   DBLAYOUT_RETURN_NOT_OK(final_layout.Validate(sizes, fleet_));
   DBLAYOUT_RETURN_NOT_OK(CheckConstraints(final_layout, constraints, db_, fleet_));
 
@@ -486,23 +604,28 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
     const Layout striped = Layout::FullStriping(final_layout.num_objects(), fleet_);
     if (striped.Validate(sizes, fleet_).ok() &&
         CheckConstraints(striped, constraints, db_, fleet_).ok()) {
-      const CostModel cost_model(fleet_);
       const double striped_cost = cost_model.WorkloadCost(profile, striped);
-      ++result.layouts_evaluated;
       if (striped_cost < result.cost - kEps) {
         result.cost = striped_cost;
         result.layout = striped;
+        result.telemetry.used_full_striping_fallback = true;
+        result.telemetry.cost_trajectory.push_back(striped_cost);
+        result.layouts_evaluated = cost_model.WorkloadEvaluations();
+        PublishSearchMetrics(result.telemetry);
         return result;
       }
     }
   }
   result.layout = std::move(final_layout);
+  result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  PublishSearchMetrics(result.telemetry);
   return result;
 }
 
 Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet,
                                       const WorkloadProfile& profile,
                                       const ResolvedConstraints& constraints) {
+  DBLAYOUT_TRACE_SPAN("search/exhaustive");
   const std::vector<int64_t> sizes = db.ObjectSizes();
   const int m = fleet.num_disks();
   const std::vector<std::vector<int>> groups =
@@ -550,7 +673,6 @@ Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet
         return;
       }
       const double c = cost_model.WorkloadCost(profile, current);
-      ++result.layouts_evaluated;
       if (c < result.cost) {
         result.cost = c;
         result.layout = current;
@@ -564,6 +686,7 @@ Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet
     }
   };
   rec(0);
+  result.layouts_evaluated = cost_model.WorkloadEvaluations();
   if (!any_valid) {
     return Status::CapacityExceeded("no valid layout exists for the given fleet");
   }

@@ -12,12 +12,24 @@
 #include <cstdint>
 #include <functional>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "layout/constraints.h"
 #include "layout/cost_model.h"
 
 namespace dblayout {
+
+/// One progress sample, delivered after every accepted greedy/migration
+/// iteration when SearchOptions::progress_hook is set (e.g. by
+/// `dblayout_cli --progress`).
+struct SearchProgress {
+  const char* phase = "";        ///< "greedy" or "migrate"
+  int iteration = 0;             ///< 1-based accepted-iteration index
+  double best_cost = 0;          ///< workload cost after this iteration, ms
+  int64_t layouts_evaluated = 0; ///< cost-model invocations so far
+  const char* accepted_move = "";///< "widen", "jump", "narrow", or "migrate"
+};
 
 struct SearchOptions {
   /// Greedy widening breadth: at most k additional drives per move (the
@@ -50,6 +62,43 @@ struct SearchOptions {
   /// audit. Lets tests corrupt an intermediate state and verify that the
   /// audit catches it (see tests/analysis_test.cc). Never set in production.
   std::function<void(Layout&)> post_move_hook_for_test;
+  /// Per-iteration progress reporting (search remains deterministic; the
+  /// hook only observes). Called after every accepted move.
+  std::function<void(const SearchProgress&)> progress_hook;
+};
+
+/// Structured introspection of one search run: which of Fig. 9's moves were
+/// tried vs. taken, how the best cost converged, and how compressible the
+/// workload was. Always collected (plain per-call fields, no atomics) and
+/// carried through SearchResult -> Recommendation -> bench JSON records; it
+/// never influences the search itself.
+struct SearchTelemetry {
+  // Moves evaluated by the cost model and moves accepted, by kind.
+  int64_t widen_considered = 0;
+  int64_t widen_accepted = 0;
+  int64_t jump_considered = 0;
+  int64_t jump_accepted = 0;
+  int64_t narrow_considered = 0;
+  int64_t narrow_accepted = 0;
+  int64_t migrate_considered = 0;
+  int64_t migrate_accepted = 0;
+  /// Candidates discarded before evaluation by the fractional capacity
+  /// check or the incremental movement budget.
+  int64_t capacity_rejected = 0;
+  int64_t movement_rejected = 0;
+  /// Whether the final answer came from the full-striping fallback, and
+  /// whether the movement budget forced incremental migration mode.
+  bool used_full_striping_fallback = false;
+  bool used_incremental_migration = false;
+  /// Best workload cost (ms) after step 1 and after every accepted
+  /// iteration — the convergence trajectory of Fig. 9's loop.
+  std::vector<double> cost_trajectory;
+  /// Cache-ability of the analyzed workload (how far CompressProfile could
+  /// shrink it): statements vs. distinct sub-plan access signatures.
+  /// Filled by the advisor, which owns the profile.
+  int64_t statements = 0;
+  int64_t subplans = 0;
+  int64_t distinct_signatures = 0;
 };
 
 struct SearchResult {
@@ -58,6 +107,7 @@ struct SearchResult {
   int greedy_iterations = 0;     ///< improving iterations taken by step 2
   int64_t layouts_evaluated = 0; ///< cost-model invocations
   double initial_cost = 0;       ///< cost after step 1 (before widening)
+  SearchTelemetry telemetry;
 };
 
 class TsGreedySearch {
@@ -75,9 +125,11 @@ class TsGreedySearch {
                                const ResolvedConstraints& constraints) const;
 
  private:
+  /// Both helpers share one CostModel per Run so layouts_evaluated can be
+  /// read off CostModel::WorkloadEvaluations() uniformly at the end.
   Result<Layout> GreedyWiden(const WorkloadProfile& profile,
                              const ResolvedConstraints& constraints, Layout layout,
-                             SearchResult* stats) const;
+                             const CostModel& cost_model, SearchResult* stats) const;
 
   /// Incremental mode (movement budget in force): computes the layout the
   /// unconstrained search would pick, then migrates object groups from the
@@ -85,7 +137,8 @@ class TsGreedySearch {
   /// first — while the total movement stays within budget.
   Result<Layout> MigrateTowardTarget(const WorkloadProfile& profile,
                                      const ResolvedConstraints& constraints,
-                                     const Layout& target, SearchResult* stats) const;
+                                     const Layout& target, const CostModel& cost_model,
+                                     SearchResult* stats) const;
 
   const Database& db_;
   const DiskFleet& fleet_;

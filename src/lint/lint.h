@@ -70,6 +70,9 @@ struct LintOptions {
   /// Stripe fractions materializing to fewer blocks than this are slivers
   /// (layout-thin-stripe). One block = one transfer unit (64 KiB extent).
   double min_stripe_blocks = 1.0;
+  /// Statement count at which workload-progress-recommended (an opt-in rule,
+  /// see MakeWorkloadProgressRule) suggests running with --progress.
+  int progress_recommend_statements = 100;
 };
 
 /// Everything a lint run may inspect. `db` is required; every other input is
@@ -142,6 +145,14 @@ struct LintReport {
 /// The built-in rule set (see rules.cc for the inventory; the README lists
 /// each rule with the paper section it encodes).
 std::vector<std::unique_ptr<LintRule>> DefaultLintRules();
+
+/// Opt-in rule (not part of DefaultLintRules): notes when the workload has
+/// at least LintOptions::progress_recommend_statements statements, so a
+/// long advisor search should be run with `dblayout_cli --progress` (and
+/// ideally --trace-out/--metrics-out for postmortems). Register it via
+/// LintRunner::AddRule — the CLI does; it doubles as the worked example of
+/// the rule-registry extension path.
+std::unique_ptr<LintRule> MakeWorkloadProgressRule();
 
 /// Runs a rule set over a LintInput.
 class LintRunner {

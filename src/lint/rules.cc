@@ -17,6 +17,10 @@
 //              layout-capacity-headroom       warning  drives nearly full
 //              layout-thin-stripe             warning  sub-block slivers
 //
+// Opt-in (registered via LintRunner::AddRule, see MakeWorkloadProgressRule):
+//   workload   workload-progress-recommended  note     search will be long;
+//                                                      run with --progress
+//
 // Every rule iterates its inputs in deterministic order (object id, drive
 // index, sorted graph edges) so renderer output is stable for golden tests.
 
@@ -532,6 +536,41 @@ class LayoutThinStripeRule : public LintRule {
 };
 
 }  // namespace
+
+namespace {
+
+/// Opt-in telemetry nudge (registered via LintRunner::AddRule, not part of
+/// DefaultLintRules): big workloads mean long searches; recommend the CLI's
+/// live progress and telemetry outputs before the user waits blind.
+class WorkloadProgressRule : public LintRule {
+ public:
+  const char* id() const override { return "workload-progress-recommended"; }
+  const char* summary() const override {
+    return "workloads large enough that the advisor search should be run "
+           "with --progress";
+  }
+  LintSeverity severity() const override { return LintSeverity::kNote; }
+  void Check(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    const size_t statements =
+        ctx.input.workload != nullptr ? ctx.input.workload->size()
+                                      : ctx.profile.statements.size();
+    const int threshold = ctx.options.progress_recommend_statements;
+    if (threshold <= 0 || statements < static_cast<size_t>(threshold)) return;
+    out->push_back(MakeDiagnostic(
+        *this,
+        StrFormat("workload has %zu statements (>= %d): the advisor search "
+                  "will evaluate many candidate layouts",
+                  statements, threshold),
+        "run dblayout_cli with --progress for live search feedback, and "
+        "--trace-out/--metrics-out to capture where the time goes"));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeWorkloadProgressRule() {
+  return std::make_unique<WorkloadProgressRule>();
+}
 
 std::vector<std::unique_ptr<LintRule>> DefaultLintRules() {
   std::vector<std::unique_ptr<LintRule>> rules;

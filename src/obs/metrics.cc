@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace dblayout::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+constexpr double kSumScale = 1e3;
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Slash-paths and
+/// dots/dashes map to underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "dblayout_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Renders a double the way Prometheus expects: integral values without a
+/// fractional tail, +Inf spelled out.
+std::string PrometheusNumber(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%g", v);
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)) {
+  DBLAYOUT_CHECK(std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(upper_bounds_.size() + 1);
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits `value`; the slot past the last
+  // bound is the +Inf overflow bucket.
+  size_t b = 0;
+  while (b < upper_bounds_.size() && value > upper_bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_scaled_.fetch_add(static_cast<int64_t>(value * kSumScale),
+                        std::memory_order_relaxed);
+}
+
+double Histogram::sum() const {
+  return static_cast<double>(sum_scaled_.load(std::memory_order_relaxed)) /
+         kSumScale;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out(upper_bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_scaled_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  // 1us .. ~4.2s in powers of four: 12 bounds + overflow covers everything
+  // from a single SubplanCost call to a full TS-GREEDY run.
+  std::vector<double> bounds;
+  double b = 1.0;
+  for (int i = 0; i < 12; ++i) {
+    bounds.push_back(b);
+    b *= 4.0;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.info.name.empty()) {
+    e.info = MetricInfo{name, help, MetricInfo::Kind::kCounter};
+    e.counter = std::make_unique<Counter>();
+  }
+  DBLAYOUT_CHECK(e.counter != nullptr);  // name registered with another kind
+  return e.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.info.name.empty()) {
+    e.info = MetricInfo{name, help, MetricInfo::Kind::kGauge};
+    e.gauge = std::make_unique<Gauge>();
+  }
+  DBLAYOUT_CHECK(e.gauge != nullptr);
+  return e.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.info.name.empty()) {
+    e.info = MetricInfo{name, help, MetricInfo::Kind::kHistogram};
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  DBLAYOUT_CHECK(e.histogram != nullptr);
+  return e.histogram.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    const std::string pname = PrometheusName(name);
+    // Counters are exposed under <name>_total; HELP/TYPE must carry the
+    // exposed name or scrapers attach the metadata to a nonexistent family.
+    const std::string exposed =
+        e.info.kind == MetricInfo::Kind::kCounter ? pname + "_total" : pname;
+    if (!e.info.help.empty()) {
+      out += StrFormat("# HELP %s %s\n", exposed.c_str(), e.info.help.c_str());
+    }
+    switch (e.info.kind) {
+      case MetricInfo::Kind::kCounter:
+        out += StrFormat("# TYPE %s counter\n", exposed.c_str());
+        out += StrFormat("%s %lld\n", exposed.c_str(),
+                         static_cast<long long>(e.counter->value()));
+        break;
+      case MetricInfo::Kind::kGauge:
+        out += StrFormat("# TYPE %s gauge\n", pname.c_str());
+        out += StrFormat("%s %s\n", pname.c_str(),
+                         PrometheusNumber(e.gauge->value()).c_str());
+        break;
+      case MetricInfo::Kind::kHistogram: {
+        out += StrFormat("# TYPE %s histogram\n", pname.c_str());
+        const std::vector<int64_t> counts = e.histogram->bucket_counts();
+        const std::vector<double>& bounds = e.histogram->upper_bounds();
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          const std::string le =
+              i < bounds.size() ? PrometheusNumber(bounds[i]) : "+Inf";
+          out += StrFormat("%s_bucket{le=\"%s\"} %lld\n", pname.c_str(),
+                           le.c_str(), static_cast<long long>(cumulative));
+        }
+        out += StrFormat("%s_sum %s\n", pname.c_str(),
+                         PrometheusNumber(e.histogram->sum()).c_str());
+        out += StrFormat("%s_count %lld\n", pname.c_str(),
+                         static_cast<long long>(e.histogram->count()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    (void)name;
+    if (e.counter) e.counter->Reset();
+    if (e.gauge) e.gauge->Reset();
+    if (e.histogram) e.histogram->Reset();
+  }
+}
+
+std::vector<MetricInfo> MetricsRegistry::Metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    (void)name;
+    out.push_back(e.info);
+  }
+  return out;
+}
+
+}  // namespace dblayout::obs

@@ -1,0 +1,199 @@
+// Telemetry metrics: a process-wide registry of named counters, gauges and
+// fixed-bucket latency histograms instrumenting the advisor pipeline.
+//
+// Design goals (mirroring AutoAdmin's advisor tooling and Hyrise's
+// plugin-backed meta tables):
+//   - lock-free fast path: once a handle is resolved, recording is one
+//     relaxed atomic op; registration (name -> handle) takes a mutex but
+//     happens once per call site via a function-local static;
+//   - stable handles: the registry never deletes or reallocates a metric,
+//     so cached Counter*/Gauge*/Histogram* pointers stay valid for the
+//     process lifetime (ResetForTest zeroes values, it does not invalidate);
+//   - kill switch: every instrumentation macro first checks
+//     obs::Enabled() — a single relaxed atomic-bool branch — so a run with
+//     telemetry off pays one predictable branch per site. Building with
+//     -DDBLAYOUT_OBS=OFF compiles the macros away entirely.
+//
+// Metric names are hierarchical slash-paths ("search/moves_considered/jump");
+// RenderPrometheus() maps them to the Prometheus exposition format
+// (dblayout_search_moves_considered_jump_total ...).
+
+#ifndef DBLAYOUT_OBS_METRICS_H_
+#define DBLAYOUT_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dblayout::obs {
+
+/// Global runtime kill switch for metric recording *and* span tracing.
+/// Defaults to off: an uninstrumented run pays one branch per site.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// Monotonically increasing event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe, lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Fixed-bucket histogram (cumulative rendering à la Prometheus). Bucket
+/// upper bounds are set at registration and never change; Observe() is a
+/// linear scan over a handful of bounds plus two relaxed atomic updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket (non-cumulative) counts; the last entry is the overflow
+  /// (+Inf) bucket.
+  std::vector<int64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<double> upper_bounds_;  ///< ascending; +Inf bucket implicit
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  ///< size() + 1 slots
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_scaled_{0};  ///< sum in fixed point, scaled by 1e3
+};
+
+/// Default latency buckets in microseconds: 1us .. ~8s, powers of four.
+std::vector<double> DefaultLatencyBucketsUs();
+
+/// One metric with its metadata, as rendered/snapshotted.
+struct MetricInfo {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by the DBLAYOUT_OBS_* macros.
+  static MetricsRegistry& Global();
+
+  /// Returns the metric with `name`, registering it on first use. Handles
+  /// are stable for the registry's lifetime. Registering the same name with
+  /// a different kind aborts (programmer error).
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = DefaultLatencyBucketsUs(),
+                          const std::string& help = "");
+
+  /// Prometheus text exposition (0.0.4): # HELP / # TYPE headers, counters
+  /// suffixed _total, histograms as cumulative _bucket{le=...}/_sum/_count.
+  /// Deterministic: metrics render in name order.
+  std::string RenderPrometheus() const;
+
+  /// Zeroes every registered value (handles stay valid). Test isolation.
+  void ResetForTest();
+
+  /// Names of all registered metrics, sorted. For tests and debugging.
+  std::vector<MetricInfo> Metrics() const;
+
+ private:
+  struct Entry {
+    MetricInfo info;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dblayout::obs
+
+// --- Instrumentation macros -------------------------------------------------
+//
+// DBLAYOUT_OBS_ENABLED is the compile-time kill switch (CMake option
+// DBLAYOUT_OBS). When off, the macros expand to nothing and the obs library
+// still links (the registry just never sees traffic from these sites).
+
+#if !defined(DBLAYOUT_OBS_ENABLED)
+#define DBLAYOUT_OBS_ENABLED 1
+#endif
+
+#define DBLAYOUT_OBS_CONCAT_IMPL_(a, b) a##b
+#define DBLAYOUT_OBS_CONCAT_(a, b) DBLAYOUT_OBS_CONCAT_IMPL_(a, b)
+
+#if DBLAYOUT_OBS_ENABLED
+
+/// Adds `n` to the counter `name` (string literal). Steady-state cost: one
+/// branch + one relaxed fetch_add; the handle resolves once per site.
+#define DBLAYOUT_OBS_COUNT(name, n)                                            \
+  do {                                                                         \
+    if (::dblayout::obs::Enabled()) {                                          \
+      static ::dblayout::obs::Counter* const dblayout_obs_counter_ =           \
+          ::dblayout::obs::MetricsRegistry::Global().GetCounter(name);         \
+      dblayout_obs_counter_->Add(n);                                           \
+    }                                                                          \
+  } while (0)
+
+/// Sets the gauge `name` to `v`.
+#define DBLAYOUT_OBS_GAUGE_SET(name, v)                                        \
+  do {                                                                         \
+    if (::dblayout::obs::Enabled()) {                                          \
+      static ::dblayout::obs::Gauge* const dblayout_obs_gauge_ =               \
+          ::dblayout::obs::MetricsRegistry::Global().GetGauge(name);           \
+      dblayout_obs_gauge_->Set(v);                                             \
+    }                                                                          \
+  } while (0)
+
+/// Records `v` into the histogram `name` (default latency buckets).
+#define DBLAYOUT_OBS_OBSERVE(name, v)                                          \
+  do {                                                                         \
+    if (::dblayout::obs::Enabled()) {                                          \
+      static ::dblayout::obs::Histogram* const dblayout_obs_hist_ =            \
+          ::dblayout::obs::MetricsRegistry::Global().GetHistogram(name);       \
+      dblayout_obs_hist_->Observe(v);                                          \
+    }                                                                          \
+  } while (0)
+
+#else  // !DBLAYOUT_OBS_ENABLED
+
+// Disabled: arguments are type-checked but never evaluated (mirrors the
+// DBLAYOUT_DCHECK_* no-ops so -Wunused stays quiet in OBS=OFF builds).
+#define DBLAYOUT_OBS_NOOP2_(a, b) \
+  do {                            \
+    if (false) {                  \
+      static_cast<void>(a);       \
+      static_cast<void>(b);       \
+    }                             \
+  } while (0)
+
+#define DBLAYOUT_OBS_COUNT(name, n) DBLAYOUT_OBS_NOOP2_(name, n)
+#define DBLAYOUT_OBS_GAUGE_SET(name, v) DBLAYOUT_OBS_NOOP2_(name, v)
+#define DBLAYOUT_OBS_OBSERVE(name, v) DBLAYOUT_OBS_NOOP2_(name, v)
+
+#endif  // DBLAYOUT_OBS_ENABLED
+
+#endif  // DBLAYOUT_OBS_METRICS_H_

@@ -1,0 +1,129 @@
+// Trace spans: nested, scoped wall-clock regions over the advisor pipeline
+// (plan analysis -> access graph -> partitioning -> greedy search -> cost
+// model), serialized as Chrome trace_event JSON (loadable in
+// chrome://tracing and Perfetto) or aggregated into a flat text summary.
+//
+// Usage:
+//   void TsGreedySearch::GreedyWiden(...) {
+//     DBLAYOUT_TRACE_SPAN("search/greedy_widen");
+//     ...
+//   }
+//
+// Spans nest lexically: the macro creates an RAII object that records one
+// complete ("ph":"X") event when the scope exits. Recording is active only
+// while the global Tracer is enabled (one relaxed atomic-bool branch when
+// disabled), and the whole mechanism compiles away under -DDBLAYOUT_OBS=OFF.
+// Events are buffered in memory and flushed once at exit time by whoever
+// owns the run (the CLI's --trace-out, a test, a bench), so the hot path
+// never touches the filesystem.
+
+#ifndef DBLAYOUT_OBS_TRACE_H_
+#define DBLAYOUT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // for DBLAYOUT_OBS_ENABLED and the concat helpers
+
+namespace dblayout::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;     ///< hierarchical slash-path, e.g. "search/greedy_iteration"
+  uint64_t start_ns = 0;  ///< nanoseconds since the tracer epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;     ///< small sequential per-thread id
+  uint32_t depth = 0;   ///< nesting depth within the thread (1 = outermost)
+};
+
+/// Aggregated per-name statistics for the text summary.
+struct SpanStats {
+  std::string name;
+  int64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by DBLAYOUT_TRACE_SPAN.
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Enabling (re)starts the epoch so event timestamps begin near zero.
+  void SetEnabled(bool enabled);
+
+  /// Drops all buffered events and metadata (not the clock override).
+  void Clear();
+
+  /// Key/value metadata serialized into the trace ("seed", "workload", ...).
+  void SetMetadata(const std::string& key, const std::string& value);
+
+  /// Records one completed span. Usually called by ScopedSpan, not directly.
+  void RecordComplete(const char* name, uint64_t start_ns, uint64_t end_ns,
+                      uint32_t depth);
+
+  /// Nanoseconds since the epoch, via the (overridable) clock.
+  uint64_t NowNs() const;
+
+  /// Deterministic-clock hook for golden tests: `clock` returns absolute
+  /// nanoseconds; pass nullptr to restore the steady clock.
+  void SetClockForTest(std::function<uint64_t()> clock);
+
+  /// Snapshot of the buffered events, in completion order.
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace_event JSON object format: {"traceEvents": [...],
+  /// "displayTimeUnit": "ms", "otherData": {metadata...}}. Timestamps are
+  /// microseconds with sub-us precision, as the format requires.
+  std::string ToChromeJson() const;
+
+  /// Flat text summary: one row per span name (count, total/mean/min/max
+  /// ms), sorted by total time descending then name, plus metadata lines.
+  std::string Summary() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::string, std::string> metadata_;
+  std::function<uint64_t()> clock_;  ///< test override; null = steady clock
+  uint64_t epoch_ns_ = 0;
+};
+
+/// RAII span. Inactive (and nearly free) when the tracer is disabled at
+/// construction time; a span started while enabled still records even if
+/// tracing is switched off before it closes, keeping the JSON balanced.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;  ///< null when inactive
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace dblayout::obs
+
+#if DBLAYOUT_OBS_ENABLED
+#define DBLAYOUT_TRACE_SPAN(name)                               \
+  ::dblayout::obs::ScopedSpan DBLAYOUT_OBS_CONCAT_(             \
+      dblayout_obs_span_, __LINE__)(name)
+#else
+#define DBLAYOUT_TRACE_SPAN(name) \
+  do {                            \
+  } while (0)
+#endif
+
+#endif  // DBLAYOUT_OBS_TRACE_H_

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "common/strutil.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dblayout {
 
@@ -21,10 +24,12 @@ double WorkloadProfile::NodeBlocks(int obj) const {
 
 Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& workload,
                                         const OptimizerOptions& options) {
+  DBLAYOUT_TRACE_SPAN("workload/analyze");
   WorkloadProfile profile;
   profile.num_objects = db.Objects().size();
   Optimizer optimizer(db, options);
   for (const auto& ws : workload.statements()) {
+    DBLAYOUT_TRACE_SPAN("workload/plan_statement");
     auto plan = optimizer.Plan(ws.parsed);
     if (!plan.ok()) {
       return Status(plan.status().code(),
@@ -37,6 +42,9 @@ Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& work
     sp.stream = ws.stream;
     sp.plan = std::move(plan).value();
     sp.subplans = DecomposeIntoSubplans(*sp.plan);
+    DBLAYOUT_OBS_COUNT("workload/statements_planned", 1);
+    DBLAYOUT_OBS_COUNT("workload/subplans",
+                       static_cast<int64_t>(sp.subplans.size()));
     profile.statements.push_back(std::move(sp));
   }
   return profile;
@@ -45,16 +53,19 @@ Result<WorkloadProfile> AnalyzeWorkload(const Database& db, const Workload& work
 WorkloadProfile AnalyzeWorkloadLenient(const Database& db, const Workload& workload,
                                        std::vector<StatementAnalysisError>* errors,
                                        const OptimizerOptions& options) {
+  DBLAYOUT_TRACE_SPAN("workload/analyze");
   WorkloadProfile profile;
   profile.num_objects = db.Objects().size();
   Optimizer optimizer(db, options);
   for (size_t i = 0; i < workload.statements().size(); ++i) {
     const WorkloadStatement& ws = workload.statement(i);
+    DBLAYOUT_TRACE_SPAN("workload/plan_statement");
     auto plan = optimizer.Plan(ws.parsed);
     if (!plan.ok()) {
       if (errors != nullptr) {
         errors->push_back(StatementAnalysisError{i, ws.sql, plan.status()});
       }
+      DBLAYOUT_OBS_COUNT("workload/statements_unplannable", 1);
       continue;
     }
     StatementProfile sp;
@@ -63,6 +74,9 @@ WorkloadProfile AnalyzeWorkloadLenient(const Database& db, const Workload& workl
     sp.stream = ws.stream;
     sp.plan = std::move(plan).value();
     sp.subplans = DecomposeIntoSubplans(*sp.plan);
+    DBLAYOUT_OBS_COUNT("workload/statements_planned", 1);
+    DBLAYOUT_OBS_COUNT("workload/subplans",
+                       static_cast<int64_t>(sp.subplans.size()));
     profile.statements.push_back(std::move(sp));
   }
   return profile;
@@ -130,24 +144,41 @@ WorkloadProfile MergeConcurrentStreams(const WorkloadProfile& profile) {
   return out;
 }
 
+std::string AccessSignature(const StatementProfile& statement) {
+  // Block counts are rounded to 3 decimals so float noise does not defeat
+  // matching.
+  std::string sig;
+  for (const auto& sp : statement.subplans) {
+    sig += '|';
+    for (const auto& a : sp.accesses) {
+      sig += StrFormat("%d:%.3f%c%c%c;", a.object_id, a.blocks,
+                       a.is_write ? 'w' : 'r', a.random ? '!' : '.',
+                       a.read_modify_write ? 'm' : '.');
+    }
+  }
+  return sig;
+}
+
+ProfileAccessStats ComputeProfileStats(const WorkloadProfile& profile) {
+  ProfileAccessStats stats;
+  std::set<std::string> signatures;
+  for (const auto& s : profile.statements) {
+    ++stats.statements;
+    stats.subplans += static_cast<int64_t>(s.subplans.size());
+    if (s.stream > 0) {
+      // Stream-tagged statements stay individual under CompressProfile.
+      ++stats.distinct_signatures;
+    } else {
+      signatures.insert(AccessSignature(s));
+    }
+  }
+  stats.distinct_signatures += static_cast<int64_t>(signatures.size());
+  return stats;
+}
+
 WorkloadProfile CompressProfile(const WorkloadProfile& profile) {
   WorkloadProfile out;
   out.num_objects = profile.num_objects;
-  // Signature: a stable text encoding of the subplan access structure.
-  // Block counts are rounded to 3 significant-ish decimals so float noise
-  // does not defeat matching.
-  auto signature = [](const StatementProfile& s) {
-    std::string sig;
-    for (const auto& sp : s.subplans) {
-      sig += '|';
-      for (const auto& a : sp.accesses) {
-        sig += StrFormat("%d:%.3f%c%c%c;", a.object_id, a.blocks,
-                         a.is_write ? 'w' : 'r', a.random ? '!' : '.',
-                         a.read_modify_write ? 'm' : '.');
-      }
-    }
-    return sig;
-  };
   std::map<std::string, size_t> index_of;  // signature -> index in out
   for (const auto& s : profile.statements) {
     if (s.stream > 0) {  // keep concurrent statements individual
@@ -160,7 +191,7 @@ WorkloadProfile CompressProfile(const WorkloadProfile& profile) {
       out.statements.push_back(std::move(copy));
       continue;
     }
-    const std::string sig = signature(s);
+    const std::string sig = AccessSignature(s);
     auto it = index_of.find(sig);
     if (it != index_of.end()) {
       out.statements[it->second].weight += s.weight;
@@ -177,6 +208,7 @@ WorkloadProfile CompressProfile(const WorkloadProfile& profile) {
 }
 
 WeightedGraph BuildAccessGraph(const WorkloadProfile& profile) {
+  DBLAYOUT_TRACE_SPAN("workload/build_access_graph");
   WeightedGraph g(profile.num_objects);
   for (const auto& s : profile.statements) {
     for (const auto& sp : s.subplans) {

@@ -86,6 +86,24 @@ WorkloadProfile MergeConcurrentStreams(const WorkloadProfile& profile);
 /// concurrency merging).
 WorkloadProfile CompressProfile(const WorkloadProfile& profile);
 
+/// Stable text encoding of a statement's sub-plan access structure: the
+/// object ids, block counts (rounded so float noise does not defeat
+/// matching), and access kinds of every pipeline. Two statements with equal
+/// signatures are indistinguishable to the cost model and the access graph;
+/// CompressProfile collapses them.
+std::string AccessSignature(const StatementProfile& statement);
+
+/// Cache-ability summary of an analyzed workload: how far CompressProfile
+/// could shrink it. distinct_signatures counts unique AccessSignature values
+/// among compressible (stream <= 0) statements, plus the stream-tagged
+/// statements that are kept individual.
+struct ProfileAccessStats {
+  int64_t statements = 0;
+  int64_t subplans = 0;
+  int64_t distinct_signatures = 0;
+};
+ProfileAccessStats ComputeProfileStats(const WorkloadProfile& profile);
+
 /// Builds the access graph of Fig. 6 from an analyzed workload: node weights
 /// are weighted blocks accessed; an edge (u,v) accumulates, over every
 /// sub-plan co-accessing u and v, the sum of the blocks of u and v accessed

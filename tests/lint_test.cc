@@ -53,11 +53,14 @@ Workload JoinWorkload() {
   return wl;
 }
 
-LintReport RunLintOn(const LintInput& input, const LintOptions& options = {}) {
-  const LintRunner runner(options);
+LintReport RunLintOn(const LintInput& input, const LintRunner& runner) {
   auto report = runner.Run(input);
   EXPECT_TRUE(report.ok()) << report.status().ToString();
   return std::move(report.value());
+}
+
+LintReport RunLintOn(const LintInput& input, const LintOptions& options = {}) {
+  return RunLintOn(input, LintRunner(options));
 }
 
 std::vector<Diagnostic> ById(const LintReport& report, const std::string& id) {
@@ -752,6 +755,53 @@ TEST(LintTest, SeverityParsingAcceptsAliases) {
   EXPECT_EQ(ParseLintSeverity("Error").value(), LintSeverity::kError);
   EXPECT_EQ(ParseLintSeverity("note").value(), LintSeverity::kNote);
   EXPECT_FALSE(ParseLintSeverity("fatal").ok());
+}
+
+// The opt-in rule registered via AddRule (the extension path the CLI uses):
+// fires at the statement threshold, stays quiet below it, and is absent
+// from the default rule set.
+TEST(LintTest, WorkloadProgressFiresAtThresholdViaAddRule) {
+  Database db = LintDb();
+  Workload wl = JoinWorkload();  // 2 statements
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+
+  LintOptions options;
+  options.progress_recommend_statements = 2;
+  LintRunner runner(options);
+  runner.AddRule(MakeWorkloadProgressRule());
+  LintReport report = RunLintOn(input, runner);
+
+  const auto found = ById(report, "workload-progress-recommended");
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].severity, LintSeverity::kNote);
+  EXPECT_NE(found[0].fix_it.find("--progress"), std::string::npos);
+  // The registered rule is declared in the run's rule inventory.
+  bool listed = false;
+  for (const LintRuleInfo& r : report.rules) {
+    listed = listed || r.id == "workload-progress-recommended";
+  }
+  EXPECT_TRUE(listed);
+}
+
+TEST(LintTest, WorkloadProgressQuietBelowThresholdAndNotDefault) {
+  Database db = LintDb();
+  Workload wl = JoinWorkload();
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+
+  // Default threshold (100) far above the 2-statement workload.
+  LintRunner runner{LintOptions{}};
+  runner.AddRule(MakeWorkloadProgressRule());
+  LintReport quiet = RunLintOn(input, runner);
+  EXPECT_TRUE(ById(quiet, "workload-progress-recommended").empty());
+
+  // Not part of DefaultLintRules: without AddRule it never appears.
+  for (const auto& rule : DefaultLintRules()) {
+    EXPECT_STRNE(rule->id(), "workload-progress-recommended");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,425 @@
+// Tests for the telemetry subsystem (src/obs/): metrics-registry
+// concurrency (run under TSan in CI), Prometheus rendering, span nesting
+// and ordering under an injected clock, Chrome trace_event JSON structure,
+// a golden text summary, and the overhead guard — telemetry on vs. off must
+// not change any advisor output.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "layout/advisor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::Tracer;
+
+/// Every test starts and ends with telemetry off and all global state
+/// zeroed, so suite order cannot leak counts between tests.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetAll(); }
+  void TearDown() override { ResetAll(); }
+
+  static void ResetAll() {
+    obs::SetEnabled(false);
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().SetClockForTest(nullptr);
+    Tracer::Global().Clear();
+    MetricsRegistry::Global().ResetForTest();
+  }
+};
+
+// --- Metrics registry ------------------------------------------------------
+
+TEST_F(ObsTest, CounterGaugeHistogramBasics) {
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+
+  obs::Counter* c = reg.GetCounter("test/basic_counter", "help text");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42);
+  // Handles are stable: re-resolving the name yields the same object.
+  EXPECT_EQ(reg.GetCounter("test/basic_counter"), c);
+
+  obs::Gauge* g = reg.GetGauge("test/basic_gauge");
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+
+  obs::Histogram* h = reg.GetHistogram("test/basic_hist", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket le=1
+  h->Observe(5.0);    // bucket le=10
+  h->Observe(5000.0); // overflow (+Inf)
+  EXPECT_EQ(h->count(), 3);
+  EXPECT_NEAR(h->sum(), 5005.5, 0.01);
+  const std::vector<int64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 1);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 0);
+  EXPECT_EQ(buckets[3], 1);
+
+  reg.ResetForTest();
+  EXPECT_EQ(c->value(), 0);       // values zeroed...
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(reg.GetCounter("test/basic_counter"), c);  // ...handles intact
+}
+
+TEST_F(ObsTest, MacrosAreNoOpsWhenDisabled) {
+  ASSERT_FALSE(obs::Enabled());
+  DBLAYOUT_OBS_COUNT("test/disabled_counter", 7);
+  DBLAYOUT_OBS_OBSERVE("test/disabled_hist", 3.0);
+  // Disabled macros must not even register the metric.
+  for (const auto& m : MetricsRegistry::Global().Metrics()) {
+    EXPECT_NE(m.name, "test/disabled_counter");
+    EXPECT_NE(m.name, "test/disabled_hist");
+  }
+}
+
+TEST_F(ObsTest, RegistryConcurrency) {
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+
+  // All threads race registration of the same names and unique names while
+  // hammering the shared handles; under TSan this validates the mutex-guarded
+  // registration plus the relaxed-atomic fast paths.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &reg] {
+      obs::Counter* shared = reg.GetCounter("test/conc_shared");
+      obs::Histogram* hist = reg.GetHistogram("test/conc_hist");
+      obs::Counter* mine =
+          reg.GetCounter("test/conc_private_" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        shared->Add();
+        mine->Add();
+        hist->Observe(static_cast<double>(i % 100));
+        DBLAYOUT_OBS_COUNT("test/conc_macro", 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.GetCounter("test/conc_shared")->value(), kThreads * kIters);
+#if DBLAYOUT_OBS_ENABLED
+  EXPECT_EQ(reg.GetCounter("test/conc_macro")->value(), kThreads * kIters);
+#endif
+  EXPECT_EQ(reg.GetHistogram("test/conc_hist")->count(), kThreads * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("test/conc_private_" + std::to_string(t))->value(),
+              kIters);
+  }
+}
+
+TEST_F(ObsTest, PrometheusRendering) {
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test/render_count", "how many")->Add(3);
+  reg.GetGauge("test/render_gauge")->Set(1.5);
+  obs::Histogram* h = reg.GetHistogram("test/render_hist", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Observe(20.0);
+
+  const std::string text = reg.RenderPrometheus();
+  // Counter: dblayout_ prefix, slashes to underscores, _total suffix.
+  EXPECT_NE(text.find("# TYPE dblayout_test_render_count_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_count_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# HELP dblayout_test_render_count_total how many"),
+            std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_gauge 1.5"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(text.find("dblayout_test_render_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_hist_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_hist_count 3"), std::string::npos);
+  EXPECT_NE(text.find("dblayout_test_render_hist_sum 22.5"), std::string::npos);
+  // Deterministic: rendering twice gives identical text.
+  EXPECT_EQ(text, reg.RenderPrometheus());
+}
+
+// --- Trace spans -----------------------------------------------------------
+
+/// Installs a fake clock that advances `step_ns` per NowNs() call.
+class FakeClock {
+ public:
+  explicit FakeClock(uint64_t step_ns) : step_ns_(step_ns) {
+    Tracer::Global().SetClockForTest([this] { return Advance(); });
+  }
+  ~FakeClock() { Tracer::Global().SetClockForTest(nullptr); }
+
+ private:
+  uint64_t Advance() {
+    now_ns_ += step_ns_;
+    return now_ns_;
+  }
+  uint64_t now_ns_ = 0;
+  uint64_t step_ns_;
+};
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+#if !DBLAYOUT_OBS_ENABLED
+  GTEST_SKIP() << "built with -DDBLAYOUT_OBS=OFF; span macros compile away";
+#endif
+  FakeClock clock(1'000'000);  // 1 ms per clock read
+  Tracer::Global().SetEnabled(true);
+  {
+    DBLAYOUT_TRACE_SPAN("outer");
+    {
+      DBLAYOUT_TRACE_SPAN("inner_a");
+    }
+    {
+      DBLAYOUT_TRACE_SPAN("inner_b");
+    }
+  }
+  const std::vector<obs::TraceEvent> events = Tracer::Global().Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner_a, inner_b, outer.
+  EXPECT_EQ(events[0].name, "inner_a");
+  EXPECT_EQ(events[1].name, "inner_b");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].depth, 2u);
+  EXPECT_EQ(events[2].depth, 1u);
+  // The outer span brackets both inner spans.
+  EXPECT_LE(events[2].start_ns, events[0].start_ns);
+  EXPECT_GE(events[2].start_ns + events[2].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  // All three events ran on the same (this) thread.
+  EXPECT_EQ(events[0].tid, events[2].tid);
+}
+
+TEST_F(ObsTest, SpansInactiveWhileTracerDisabled) {
+  {
+    DBLAYOUT_TRACE_SPAN("never_recorded");
+  }
+  EXPECT_TRUE(Tracer::Global().Events().empty());
+}
+
+/// Minimal structural JSON scan: every brace/bracket balanced outside
+/// strings, strings closed, no trailing garbage.
+void CheckBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, ChromeTraceJsonStructure) {
+#if !DBLAYOUT_OBS_ENABLED
+  GTEST_SKIP() << "built with -DDBLAYOUT_OBS=OFF; span macros compile away";
+#endif
+  FakeClock clock(500'000);
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.SetMetadata("seed", "42");
+  tracer.SetMetadata("workload", "unit \"quoted\" test");
+  {
+    DBLAYOUT_TRACE_SPAN("search/run");
+    DBLAYOUT_TRACE_SPAN("search/greedy_iteration");
+  }
+  const std::string json = tracer.ToChromeJson();
+  CheckBalancedJson(json);
+  // The trace_event object-format envelope Perfetto and chrome://tracing load.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u) << json.substr(0, 40);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Complete events with the required keys, in microseconds.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"search/run\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"search/greedy_iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  // Metadata lands in otherData, with string escaping applied.
+  EXPECT_NE(json.find("\"otherData\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":\"42\""), std::string::npos);
+  EXPECT_NE(json.find("unit \\\"quoted\\\" test"), std::string::npos);
+}
+
+TEST_F(ObsTest, GoldenSummary) {
+#if !DBLAYOUT_OBS_ENABLED
+  GTEST_SKIP() << "built with -DDBLAYOUT_OBS=OFF; span macros compile away";
+#endif
+  FakeClock clock(1'000'000);  // deterministic 1 ms per clock read
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.SetMetadata("seed", "7");
+  {
+    DBLAYOUT_TRACE_SPAN("search/run");
+    for (int i = 0; i < 3; ++i) {
+      DBLAYOUT_TRACE_SPAN("search/greedy_iteration");
+    }
+  }
+  {
+    DBLAYOUT_TRACE_SPAN("workload/analyze");
+  }
+  const std::string summary = tracer.Summary();
+
+  const std::string path =
+      std::string(DBLAYOUT_TESTDATA_DIR) + "/obs_summary_golden.txt";
+  if (std::getenv("OBS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << summary;
+    ASSERT_TRUE(out.good()) << "failed to regenerate " << path;
+    return;
+  }
+  std::ifstream golden(path);
+  ASSERT_TRUE(golden.is_open())
+      << "missing " << path << " (run with OBS_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream expected;
+  expected << golden.rdbuf();
+  EXPECT_EQ(summary, expected.str());
+}
+
+// --- Overhead guard --------------------------------------------------------
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+Database MicroDb() {
+  Database db("obsmicro");
+  for (const char* name : {"big_a", "big_b", "solo"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 300'000;
+    t.columns = {IntKey(std::string(name) + "_k", 300'000)};
+    Column pay;
+    pay.name = std::string(name) + "_p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 120;
+    t.columns.push_back(pay);
+    t.clustered_key = {t.columns[0].name};
+    EXPECT_TRUE(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+Result<Recommendation> RunMicroAdvisor(const Database& db, const DiskFleet& fleet) {
+  Workload wl("obsmicro");
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, big_b WHERE big_a_k = big_b_k", 5).ok());
+  EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM solo").ok());
+  LayoutAdvisor advisor(db, fleet);
+  return advisor.Recommend(wl);
+}
+
+TEST_F(ObsTest, TelemetryDoesNotChangeAdvisorResults) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+
+  // Baseline: everything off (the SetUp state).
+  auto off = RunMicroAdvisor(db, fleet);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  // Counters on, tracer off.
+  obs::SetEnabled(true);
+  auto counters = RunMicroAdvisor(db, fleet);
+  ASSERT_TRUE(counters.ok()) << counters.status().ToString();
+
+  // Counters and tracer both on.
+  Tracer::Global().SetEnabled(true);
+  auto traced = RunMicroAdvisor(db, fleet);
+  ASSERT_TRUE(traced.ok()) << traced.status().ToString();
+
+  // Telemetry only observes: layout and costs must match bit-for-bit.
+  for (const auto* run : {&counters.value(), &traced.value()}) {
+    EXPECT_TRUE(run->layout.ApproxEquals(off->layout, 0.0));
+    EXPECT_EQ(run->estimated_cost_ms, off->estimated_cost_ms);
+    EXPECT_EQ(run->full_striping_cost_ms, off->full_striping_cost_ms);
+    EXPECT_EQ(run->layouts_evaluated, off->layouts_evaluated);
+    EXPECT_EQ(run->greedy_iterations, off->greedy_iterations);
+  }
+#if DBLAYOUT_OBS_ENABLED
+  // And the enabled runs actually recorded something.
+  EXPECT_GT(MetricsRegistry::Global()
+                .GetCounter("cost_model/subplan_evals")
+                ->value(),
+            0);
+  EXPECT_FALSE(Tracer::Global().Events().empty());
+#endif
+}
+
+TEST_F(ObsTest, SearchTelemetryIsConsistent) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  auto rec = RunMicroAdvisor(db, fleet);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  const SearchTelemetry& t = rec->telemetry;
+
+  const int64_t considered = t.widen_considered + t.jump_considered +
+                             t.narrow_considered + t.migrate_considered;
+  const int64_t accepted = t.widen_accepted + t.jump_accepted +
+                           t.narrow_accepted + t.migrate_accepted;
+  EXPECT_GT(considered, 0);
+  EXPECT_LE(accepted, considered);
+  EXPECT_EQ(accepted, rec->greedy_iterations);
+  // Every accepted move evaluated the cost model, so the uniform counter
+  // dominates the per-move tallies.
+  EXPECT_GE(rec->layouts_evaluated, considered);
+  // Trajectory: step-1 cost plus one sample per accepted move (plus one if
+  // the fallback won), never increasing.
+  ASSERT_GE(t.cost_trajectory.size(), 1u);
+  EXPECT_GE(static_cast<int64_t>(t.cost_trajectory.size()), accepted + 1);
+  for (size_t i = 1; i < t.cost_trajectory.size(); ++i) {
+    EXPECT_LE(t.cost_trajectory[i], t.cost_trajectory[i - 1] + 1e-9);
+  }
+  // Cache-ability stats filled by the advisor.
+  EXPECT_EQ(t.statements, 2);
+  EXPECT_GT(t.subplans, 0);
+  EXPECT_GT(t.distinct_signatures, 0);
+  EXPECT_LE(t.distinct_signatures, t.statements);
+}
+
+TEST_F(ObsTest, GlobalSeedRoundTrip) {
+  const uint64_t before = GlobalSeed();
+  SetGlobalSeed(20260806);
+  EXPECT_EQ(GlobalSeed(), 20260806u);
+  SetGlobalSeed(before);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -17,17 +17,22 @@
 //                 name capacity_gb seek_ms read_mb_s write_mb_s [avail]
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchdata/tpch.h"
+#include "common/rng.h"
 #include "common/strutil.h"
 #include "engine/execution_sim.h"
 #include "layout/advisor.h"
 #include "layout/filegroup_script.h"
 #include "lint/lint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/ddl.h"
 #include "workload/analyzer.h"
 #include "workload/trace.h"
@@ -52,9 +57,22 @@ int Usage(const char* argv0) {
                "          [--max-move FRACTION] [--greedy-k K]\n"
                "          [--explain] [--simulate] [--dump-schema] [--emit-script]\n"
                "          [--concurrency] [--save-layout FILE] [--evaluate FILE]\n"
-               "          [--lint] [--format text|json|sarif] [--fail-on note|warn|error]\n",
+               "          [--lint] [--format text|json|sarif] [--fail-on note|warn|error]\n"
+               "          [--metrics-out FILE] [--trace-out FILE] [--progress]\n"
+               "          [--seed N] [--tpch [SCALE]]\n",
                argv0);
   return 2;
+}
+
+/// Writes `content` to `path`; returns false (with a message) on failure.
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write file '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
 }
 
 /// Lint-mode input failures exit 2 (like usage errors); findings exit 1.
@@ -129,7 +147,8 @@ int RunLint(const std::string& schema_path, const std::string& workload_path,
 
   LintOptions lint_options;
   lint_options.optimizer = options.optimizer;
-  const LintRunner runner(lint_options);
+  LintRunner runner(lint_options);
+  runner.AddRule(MakeWorkloadProgressRule());
   LintInput input;
   input.db = &db.value();
   input.workload = &wl.value();
@@ -166,6 +185,11 @@ int main(int argc, char** argv) {
   std::string format = "text", fail_on = "error";
   std::string save_layout_path, evaluate_path;
   double max_move = -1;
+  std::string metrics_out, trace_out;
+  bool progress = false;
+  uint64_t seed = 0;
+  bool tpch = false;
+  double tpch_scale = 1.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -258,14 +282,81 @@ int main(int argc, char** argv) {
       fail_on = v;
     } else if (arg.rfind("--fail-on=", 0) == 0) {
       fail_on = arg.substr(10);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      metrics_out = v;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(14);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      trace_out = v;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(12);
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--tpch") {
+      // Optional scale operand (e.g. `--tpch 0.1`); defaults to 1.0 (the
+      // paper's TPCH1G testbed).
+      tpch = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        tpch_scale = std::strtod(argv[++i], nullptr);
+        if (tpch_scale <= 0) {
+          std::fprintf(stderr, "--tpch scale must be positive\n");
+          return 2;
+        }
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       return Usage(argv[0]);
     }
   }
-  if (schema_path.empty() || disks_path.empty() ||
-      (workload_path.empty() == trace_path.empty())) {
+  if (tpch) {
+    // --tpch generates the schema and workload; only --disks is read.
+    if (!schema_path.empty() || !workload_path.empty() || !trace_path.empty() ||
+        lint) {
+      std::fprintf(stderr,
+                   "--tpch replaces --schema/--workload/--trace and does not "
+                   "combine with --lint\n");
+      return 2;
+    }
+    if (disks_path.empty()) return Usage(argv[0]);
+  } else if (schema_path.empty() || disks_path.empty() ||
+             (workload_path.empty() == trace_path.empty())) {
     return Usage(argv[0]);  // exactly one of --workload / --trace
+  }
+
+  // Telemetry: any of --metrics-out/--trace-out/--progress switches the
+  // metrics registry on; --trace-out additionally starts span buffering.
+  SetGlobalSeed(seed);
+  if (!metrics_out.empty() || !trace_out.empty() || progress) {
+    obs::SetEnabled(true);
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::Global().SetEnabled(true);
+    obs::Tracer::Global().SetMetadata("seed", StrFormat("%llu",
+                                      static_cast<unsigned long long>(seed)));
+    obs::Tracer::Global().SetMetadata(
+        "schema", tpch ? StrFormat("tpch sf=%g", tpch_scale) : schema_path);
+    obs::Tracer::Global().SetMetadata(
+        "workload", tpch ? "tpch-22"
+                         : (!trace_path.empty() ? trace_path : workload_path));
+  }
+  if (progress) {
+    options.search.progress_hook = [](const SearchProgress& p) {
+      std::fprintf(stderr,
+                   "progress: %s iteration %d: best cost %.0f ms "
+                   "(%lld layouts evaluated, last move: %s)\n",
+                   p.phase, p.iteration, p.best_cost,
+                   static_cast<long long>(p.layouts_evaluated), p.accepted_move);
+    };
   }
 
   if (lint) {
@@ -279,15 +370,23 @@ int main(int argc, char** argv) {
     return 1;
   };
 
-  auto schema_text = ReadFile(schema_path);
-  if (!schema_text.ok()) return fail("schema", schema_text.status());
-  auto db = ParseSchemaScript("database", schema_text.value());
-  if (!db.ok()) return fail("schema", db.status());
+  Result<Database> db = Status::Internal("unset");
+  if (tpch) {
+    db = benchdata::MakeTpchDatabase(tpch_scale);
+  } else {
+    auto schema_text = ReadFile(schema_path);
+    if (!schema_text.ok()) return fail("schema", schema_text.status());
+    db = ParseSchemaScript("database", schema_text.value());
+    if (!db.ok()) return fail("schema", db.status());
+  }
   if (dump_schema) std::printf("%s\n", DumpSchema(db.value()).c_str());
   std::printf("%s\n", db->ToString().c_str());
 
   Result<Workload> wl = Status::Internal("unset");
-  if (!trace_path.empty()) {
+  if (tpch) {
+    wl = benchdata::MakeTpch22Workload(db.value(), seed != 0 ? seed : 1);
+    if (!wl.ok()) return fail("workload", wl.status());
+  } else if (!trace_path.empty()) {
     auto trace_text = ReadFile(trace_path);
     if (!trace_text.ok()) return fail("trace", trace_text.status());
     TraceOptions topt;
@@ -336,7 +435,8 @@ int main(int argc, char** argv) {
   {
     LintOptions lint_options;
     lint_options.optimizer = options.optimizer;
-    const LintRunner runner(lint_options);
+    LintRunner runner(lint_options);
+    runner.AddRule(MakeWorkloadProgressRule());
     LintInput input;
     input.db = &db.value();
     input.workload = &wl.value();
@@ -396,6 +496,20 @@ int main(int argc, char** argv) {
                 "(%.1f%% improvement)\n",
                 t_rec.value(), t_fs.value(),
                 100.0 * (t_fs.value() - t_rec.value()) / t_fs.value());
+  }
+
+  if (!trace_out.empty()) {
+    const obs::Tracer& tracer = obs::Tracer::Global();
+    if (!WriteFileOrComplain(trace_out, tracer.ToChromeJson())) return 1;
+    std::printf("\n%s\ntrace written to %s (load in chrome://tracing or Perfetto)\n",
+                tracer.Summary().c_str(), trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteFileOrComplain(metrics_out,
+                             obs::MetricsRegistry::Global().RenderPrometheus())) {
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
   }
   return 0;
 }

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Telemetry driver: runs `dblayout_cli` with the full observability surface
+# switched on over the example data and the synthetic TPC-H metadata,
+# asserting that:
+#
+#   1. an advised run with --progress/--trace-out/--metrics-out succeeds and
+#      reports a trace summary plus the artifact paths
+#   2. the trace file is well-formed Chrome trace_event JSON (loadable in
+#      Perfetto / chrome://tracing) carrying the seed in its metadata
+#      (checked when python3 is available)
+#   3. the metrics file is Prometheus text exposition containing the search
+#      move counters and the cost-model latency histogram
+#   4. --seed is deterministic: two identical seeded runs produce
+#      byte-identical metrics files
+#
+# Usage: tools/run_obs.sh --cli PATH [--data DIR] [--out DIR]
+set -euo pipefail
+
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CLI=""
+DATA="${SOURCE_DIR}/examples/data"
+OUT="$(mktemp -d)"
+trap 'rm -rf "${OUT}"' EXIT
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --cli)  CLI="$2"; shift 2 ;;
+    --data) DATA="$2"; shift 2 ;;
+    --out)  OUT="$2"; trap - EXIT; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+[[ -n "${CLI}" && -x "${CLI}" ]] || { echo "usage: $0 --cli PATH_TO_dblayout_cli" >&2; exit 2; }
+
+log()  { printf '\n== %s ==\n' "$*"; }
+fail() { echo "OBS DRIVER FAILED: $*" >&2; exit 1; }
+
+TRACE="${OUT}/trace.json"
+METRICS="${OUT}/metrics.prom"
+
+log "TPC-H sf=0.1 advised run with telemetry on"
+out="$("${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 --progress \
+        --trace-out "${TRACE}" --metrics-out "${METRICS}" 2>&1)" \
+  || fail "telemetry run exited non-zero"
+grep -q "trace summary:" <<<"${out}" || fail "no trace summary in output"
+grep -q "progress:" <<<"${out}" || fail "no --progress lines in output"
+[[ -s "${TRACE}" ]] || fail "trace file missing or empty: ${TRACE}"
+[[ -s "${METRICS}" ]] || fail "metrics file missing or empty: ${METRICS}"
+
+log "metrics file carries search counters and cost-model histogram"
+grep -q "dblayout_search_moves_considered_widen_total" "${METRICS}" \
+  || fail "search move counters missing from ${METRICS}"
+grep -q "dblayout_cost_model_workload_cost_us_bucket" "${METRICS}" \
+  || fail "cost-model latency histogram missing from ${METRICS}"
+
+if command -v python3 >/dev/null 2>&1; then
+  log "trace file is well-formed Chrome trace JSON with seed metadata"
+  python3 - "${TRACE}" <<'PY' || fail "trace JSON validation failed"
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+events = d["traceEvents"]
+assert events, "no trace events"
+for ev in events:
+    assert ev["ph"] == "X" and "ts" in ev and "dur" in ev, ev
+assert d["otherData"]["seed"] == "42", d["otherData"]
+names = {ev["name"] for ev in events}
+assert "search/run" in names, sorted(names)
+PY
+else
+  log "python3 not found — skipping trace JSON validation"
+fi
+
+log "seeded runs are deterministic (identical counters)"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 \
+  --metrics-out "${OUT}/metrics2.prom" >/dev/null 2>&1 \
+  || fail "second seeded run exited non-zero"
+# Latency histograms carry wall-clock sums that legitimately vary between
+# runs; every counter (move tallies, evaluation counts) must match exactly.
+grep ' [0-9]*$' "${METRICS}" | grep '_total ' > "${OUT}/counters1.txt"
+grep ' [0-9]*$' "${OUT}/metrics2.prom" | grep '_total ' > "${OUT}/counters2.txt"
+cmp -s "${OUT}/counters1.txt" "${OUT}/counters2.txt" \
+  || { diff "${OUT}/counters1.txt" "${OUT}/counters2.txt" || true; \
+       fail "counters differ between identical seeded runs"; }
+
+log "example schema/workload run with telemetry on"
+"${CLI}" --schema "${DATA}/schema.sql" --workload "${DATA}/workload.sql" \
+  --disks "${DATA}/disks.txt" --trace-out "${OUT}/trace_examples.json" \
+  >/dev/null 2>&1 || fail "example-data telemetry run exited non-zero"
+[[ -s "${OUT}/trace_examples.json" ]] || fail "example trace file missing"
+
+log "obs pass complete"
