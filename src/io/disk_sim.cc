@@ -9,6 +9,32 @@
 
 namespace dblayout {
 
+namespace {
+
+/// Expected retry inflation for the aggregate model: every service
+/// millisecond scales by the expected attempts per request, and every
+/// request charges the expected backoff delay. Requests are counted the way
+/// the drive would issue them (single-block for scattered access, one
+/// prefetch chunk for sequential runs), so the inflation is comparable to
+/// what the request-level simulator draws stochastically.
+double ApplyRetryInflation(double time_ms, const std::vector<DiskStream>& streams,
+                           const SimOptions& options) {
+  if (!options.retry.active() || time_ms <= 0) return time_ms;
+  const int64_t chunk = std::max<int64_t>(1, options.prefetch_blocks);
+  int64_t requests = 0;
+  for (const auto& s : streams) {
+    if (s.blocks <= 0) continue;
+    requests += s.random ? s.blocks : (s.blocks + chunk - 1) / chunk;
+  }
+  const double inflated = time_ms * options.retry.ExpectedAttempts() +
+                          static_cast<double>(requests) *
+                              options.retry.ExpectedBackoffMs();
+  DBLAYOUT_OBS_OBSERVE("io/retry_inflation_ms", inflated - time_ms);
+  return inflated;
+}
+
+}  // namespace
+
 double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
                            const SimOptions& options) {
   DBLAYOUT_OBS_COUNT("io/disk_streams", static_cast<int64_t>(streams.size()));
@@ -30,12 +56,13 @@ double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& st
       sequential.push_back(&s);
     }
   }
-  if (sequential.empty()) return time_ms;
+  if (sequential.empty()) return ApplyRetryInflation(time_ms, streams, options);
 
   // Single sequential stream: one positioning seek, then pure transfer.
   if (sequential.size() == 1) {
     const DiskStream& s = *sequential[0];
-    return time_ms + d.seek_ms + static_cast<double>(s.blocks) * rate_of(s);
+    time_ms += d.seek_ms + static_cast<double>(s.blocks) * rate_of(s);
+    return ApplyRetryInflation(time_ms, streams, options);
   }
 
   // Multiple co-accessed sequential streams: proportional round-robin. Each
@@ -80,7 +107,7 @@ double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& st
       if (a.remaining > 0) any_left = true;
     }
   }
-  return time_ms;
+  return ApplyRetryInflation(time_ms, streams, options);
 }
 
 double SimulatePipeline(const DiskFleet& fleet,

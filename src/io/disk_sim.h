@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "io/fault_model.h"
 #include "storage/disk.h"
 
 namespace dblayout {
@@ -34,6 +35,11 @@ struct SimOptions {
   /// serviced before the head may switch to another stream. Approximates
   /// SQL Server's read-ahead (a few hundred KB per request).
   int64_t prefetch_blocks = 1;
+  /// Transient-error retry model. The aggregate simulator applies the
+  /// *expected* inflation analytically: service time scales by the expected
+  /// attempts per request and each request charges the expected backoff
+  /// delay (the request-level queue_sim draws each failure instead).
+  RetryPolicy retry;
 };
 
 /// Elapsed milliseconds for drive `d` to service all `streams`, with

@@ -1,0 +1,67 @@
+// Transient-fault model shared by both disk simulators: a per-request error
+// probability with retry-and-exponential-backoff recovery. The request-level
+// simulator (queue_sim) draws each failure and replays the request after the
+// backoff delay; the aggregate simulator (disk_sim) applies the analytically
+// expected inflation. Both terminate with bounded latency: a request is
+// abandoned after `max_retries` failed retries instead of spinning forever.
+
+#ifndef DBLAYOUT_IO_FAULT_MODEL_H_
+#define DBLAYOUT_IO_FAULT_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace dblayout {
+
+/// Retry discipline for transient per-request I/O errors (media retries,
+/// controller resets, path flaps on a degraded drive).
+struct RetryPolicy {
+  /// Probability that one service attempt of one request fails. 0 disables
+  /// the fault model entirely.
+  double transient_error_rate = 0.0;
+  /// Retries after the initial attempt before the request is abandoned
+  /// (bounded termination: at most max_retries + 1 attempts per request).
+  int max_retries = 8;
+  /// Backoff before retry r (1-based): min(backoff_base_ms * 2^(r-1),
+  /// backoff_cap_ms).
+  double backoff_base_ms = 0.5;
+  double backoff_cap_ms = 50.0;
+
+  bool active() const { return transient_error_rate > 0.0 && max_retries >= 0; }
+
+  /// Backoff delay (ms) charged before 1-based retry `retry_index`.
+  double BackoffDelayMs(int retry_index) const {
+    const double d = backoff_base_ms * std::ldexp(1.0, retry_index - 1);
+    return std::min(d, backoff_cap_ms);
+  }
+
+  /// Expected service attempts per request under the truncated-geometric
+  /// retry scheme: sum_{k=0}^{max_retries} p^k. Always >= 1; monotone in p.
+  double ExpectedAttempts() const {
+    const double p = std::clamp(transient_error_rate, 0.0, 1.0);
+    double expected = 1.0;
+    double pk = 1.0;
+    for (int k = 1; k <= max_retries; ++k) {
+      pk *= p;
+      expected += pk;
+    }
+    return expected;
+  }
+
+  /// Expected total backoff delay (ms) per request: retry r happens iff the
+  /// first r attempts all failed, so sum_{r=1}^{max_retries} p^r * delay(r).
+  double ExpectedBackoffMs() const {
+    const double p = std::clamp(transient_error_rate, 0.0, 1.0);
+    double expected = 0.0;
+    double pr = 1.0;
+    for (int r = 1; r <= max_retries; ++r) {
+      pr *= p;
+      expected += pr * BackoffDelayMs(r);
+    }
+    return expected;
+  }
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_IO_FAULT_MODEL_H_

@@ -17,6 +17,14 @@ namespace {
 /// advertised average seek time.
 constexpr double kMeanSqrtDistance = 8.0 / 15.0;
 
+/// Deterministic xorshift64* draw in [0, 1) for transient-failure decisions.
+double NextUnitDouble(uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return static_cast<double>((state * 0x2545f4914f6cdd1dull) >> 11) * 0x1.0p-53;
+}
+
 struct StreamState {
   const QueueStream* spec = nullptr;
   int64_t remaining = 0;
@@ -89,6 +97,11 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
   double time_ms = 0;
   int64_t head = 0;
   int64_t requests_serviced = 0;
+  int64_t transient_errors = 0;
+  int64_t request_retries = 0;
+  int64_t requests_abandoned = 0;
+  uint64_t fault_rng = options.fault_seed | 1;
+  const RetryPolicy& retry = options.retry;
 
   // Fair elevator sweeps: each sweep services exactly one outstanding
   // request per active stream, in ascending address order (every client
@@ -120,6 +133,25 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
           : st->spec->write ? d.WriteMsPerBlock()
                             : d.ReadMsPerBlock();
       time_ms += static_cast<double>(size) * ms_per_block;
+      if (retry.active()) {
+        // Each service attempt may fail; a failed attempt backs off
+        // (exponentially, capped) and replays the transfer in place — the
+        // head is already positioned, so no reseek. Attempts are bounded:
+        // after max_retries failed retries the request is abandoned, which
+        // keeps degraded runs terminating with finite, measurable latency.
+        int attempt = 1;
+        while (NextUnitDouble(fault_rng) < retry.transient_error_rate) {
+          ++transient_errors;
+          if (attempt > retry.max_retries) {
+            ++requests_abandoned;
+            break;
+          }
+          time_ms += retry.BackoffDelayMs(attempt) +
+                     static_cast<double>(size) * ms_per_block;
+          ++request_retries;
+          ++attempt;
+        }
+      }
       head = addr + size;
       ++requests_serviced;
       st->Complete();
@@ -129,6 +161,13 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
   // Accumulated locally (one request per elevator-sweep slot), flushed once:
   // the sweep loop stays free of global atomics.
   DBLAYOUT_OBS_COUNT("io/queue_requests", requests_serviced);
+  if (transient_errors > 0) {
+    DBLAYOUT_OBS_COUNT("io/transient_errors", transient_errors);
+    DBLAYOUT_OBS_COUNT("io/request_retries", request_retries);
+  }
+  if (requests_abandoned > 0) {
+    DBLAYOUT_OBS_COUNT("io/requests_abandoned", requests_abandoned);
+  }
   return time_ms;
 }
 

@@ -75,6 +75,7 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   rec.greedy_iterations = sr.greedy_iterations;
   rec.layouts_evaluated = sr.layouts_evaluated;
   rec.telemetry = std::move(sr.telemetry);
+  rec.timed_out = sr.timed_out;
   // Cache-ability of the *searched* objective: how far CompressProfile did
   // (or could) shrink the statement set the cost model actually saw.
   const ProfileAccessStats pstats = ComputeProfileStats(*objective);
@@ -116,6 +117,10 @@ std::string LayoutAdvisor::Report(const Recommendation& rec) const {
                    "%.0f ms; full striping %.0f ms; improvement %.1f%%)\n\n",
                    rec.estimated_cost_ms, rec.full_striping_cost_ms,
                    rec.ImprovementVsFullStripingPct());
+  if (rec.timed_out) {
+    out += "NOTE: search wall-clock budget expired; this is the best layout "
+           "found so far, not a converged recommendation.\n\n";
+  }
   out += rec.layout.ToString(names, fleet_);
   out += "\nFilegroups:\n";
   for (const auto& fg : InferFilegroups(rec.layout)) {

@@ -6,6 +6,7 @@
 #ifndef DBLAYOUT_LAYOUT_ADVISOR_H_
 #define DBLAYOUT_LAYOUT_ADVISOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "workload/workload.h"
 
 namespace dblayout {
+
+struct ResilienceReport;  // src/resilience/degraded.h
 
 // Temporary objects (tempdb): the paper's formulation allows modeling temp
 // tables as objects constrained to one filegroup, but its implementation
@@ -62,6 +65,15 @@ struct Recommendation {
   /// Search introspection (moves by kind, cost trajectory) plus workload
   /// cache-ability stats, carried from the search into bench JSON records.
   SearchTelemetry telemetry;
+  /// The search's wall-clock budget expired: `layout` is the best valid
+  /// layout found so far, not a converged recommendation.
+  bool timed_out = false;
+  /// Per-failure-scenario degraded-mode evaluation of `layout`, filled by
+  /// callers that run EvaluateResilience (src/resilience/degraded.h); null
+  /// when no resilience analysis was requested. shared_ptr keeps the advisor
+  /// layer free of a hard dependency on the resilience library (the
+  /// type-erased deleter makes the incomplete type safe here).
+  std::shared_ptr<const ResilienceReport> resilience;
 
   /// Estimated % improvement in total I/O response time vs full striping.
   double ImprovementVsFullStripingPct() const {

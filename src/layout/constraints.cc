@@ -31,6 +31,33 @@ Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
   const auto& objects = db.Objects();
   out.required_avail.assign(objects.size(), std::nullopt);
 
+  if (!constraints.ineligible_drives.empty()) {
+    out.drive_ineligible.assign(static_cast<size_t>(fleet.num_disks()), false);
+    for (const std::string& name : constraints.ineligible_drives) {
+      int found = -1;
+      for (int j = 0; j < fleet.num_disks(); ++j) {
+        if (ToLower(fleet.disk(j).name) == ToLower(name)) {
+          found = j;
+          break;
+        }
+      }
+      if (found < 0) {
+        return Status::NotFound(StrFormat(
+            "ineligible-drive constraint references unknown drive '%s'",
+            name.c_str()));
+      }
+      out.drive_ineligible[static_cast<size_t>(found)] = true;
+    }
+    bool any_eligible = false;
+    for (int j = 0; j < fleet.num_disks(); ++j) {
+      if (!out.drive_ineligible[static_cast<size_t>(j)]) any_eligible = true;
+    }
+    if (!any_eligible) {
+      return Status::FailedPrecondition(
+          "every drive of the fleet is marked ineligible");
+    }
+  }
+
   auto find_object = [&](const std::string& name) -> Result<int> {
     for (const auto& o : objects) {
       if (ToLower(o.name) == ToLower(name)) return o.id;
@@ -67,7 +94,10 @@ Result<ResolvedConstraints> ResolveConstraints(const Constraints& constraints,
     DBLAYOUT_ASSIGN_OR_RETURN(int id, find_object(name));
     bool satisfiable = false;
     for (int j = 0; j < fleet.num_disks(); ++j) {
-      if (fleet.disk(j).avail == avail) {
+      const bool ineligible =
+          static_cast<size_t>(j) < out.drive_ineligible.size() &&
+          out.drive_ineligible[static_cast<size_t>(j)];
+      if (!ineligible && fleet.disk(j).avail == avail) {
         satisfiable = true;
         break;
       }
@@ -366,7 +396,13 @@ std::vector<ConstraintIssue> CheckConstraintFeasibility(const Constraints& const
           }
         }
       }
-      if (forced > budget * (1 + 1e-9)) {
+      // Absolute-plus-relative slack: a budget *exactly equal* to the forced
+      // movement must pass even when `budget` (fraction * TotalBlocks) and
+      // `forced` (a sum of fraction * size products) round differently.
+      // Scaling the slack only by `budget` is not enough — the accumulation
+      // error in `forced` scales with the object sizes, not the budget.
+      const double slack = 1e-9 * std::max({1.0, budget, forced});
+      if (forced > budget + slack) {
         ConstraintIssue issue;
         issue.kind = ConstraintIssue::Kind::kMovementBudgetTooSmall;
         issue.objects = forced_objects;
@@ -397,6 +433,21 @@ Status CheckConstraints(const Layout& layout, const ResolvedConstraints& constra
             StrFormat("objects '%s' and '%s' are not co-located",
                       objects[static_cast<size_t>(group[0])].name.c_str(),
                       objects[static_cast<size_t>(group[g])].name.c_str()));
+      }
+    }
+  }
+  if (!constraints.drive_ineligible.empty()) {
+    for (int i = 0; i < layout.num_objects(); ++i) {
+      for (int j : layout.DisksOf(i)) {
+        if (static_cast<size_t>(j) < constraints.drive_ineligible.size() &&
+            constraints.drive_ineligible[static_cast<size_t>(j)]) {
+          return Status::FailedPrecondition(StrFormat(
+              "object '%s' placed on ineligible drive %s",
+              i < static_cast<int>(objects.size())
+                  ? objects[static_cast<size_t>(i)].name.c_str()
+                  : "?",
+              fleet.disk(j).name.c_str()));
+        }
       }
     }
   }

@@ -29,6 +29,9 @@ struct Constraints {
   /// Layout the database currently has (required when
   /// max_movement_fraction >= 0).
   const Layout* current_layout = nullptr;
+  /// Drives (by name) no object may be placed on. Used by the evacuation
+  /// planner to mark a failing drive off limits for the re-layout search.
+  std::vector<std::string> ineligible_drives;
 };
 
 /// Constraints resolved to object ids, the form the search consumes.
@@ -39,9 +42,16 @@ struct ResolvedConstraints {
   std::vector<std::optional<Availability>> required_avail;
   double max_movement_blocks = -1.0;
   const Layout* current_layout = nullptr;
+  /// Per-drive flag (index = drive index): true when no object may be placed
+  /// there (e.g. a failing drive being evacuated). Empty = all eligible.
+  std::vector<bool> drive_ineligible;
 
   /// True if object `i` may be placed on drive `j` of `fleet`.
   bool DiskAllowed(int i, int j, const DiskFleet& fleet) const {
+    if (static_cast<size_t>(j) < drive_ineligible.size() &&
+        drive_ineligible[static_cast<size_t>(j)]) {
+      return false;
+    }
     if (static_cast<size_t>(i) >= required_avail.size()) return true;
     const auto& req = required_avail[static_cast<size_t>(i)];
     return !req.has_value() || fleet.disk(j).avail == *req;

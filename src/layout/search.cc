@@ -1,6 +1,7 @@
 #include "layout/search.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <limits>
@@ -66,6 +67,7 @@ void MergeTelemetry(const SearchTelemetry& from, SearchTelemetry* into) {
   into->movement_rejected += from.movement_rejected;
   into->used_full_striping_fallback |= from.used_full_striping_fallback;
   into->used_incremental_migration |= from.used_incremental_migration;
+  into->timed_out |= from.timed_out;
   into->cost_trajectory.insert(into->cost_trajectory.end(),
                                from.cost_trajectory.begin(),
                                from.cost_trajectory.end());
@@ -86,6 +88,9 @@ void PublishSearchMetrics(const SearchTelemetry& t) {
   DBLAYOUT_OBS_COUNT("search/candidates_movement_rejected", t.movement_rejected);
   if (t.used_full_striping_fallback) {
     DBLAYOUT_OBS_COUNT("search/full_striping_fallbacks", 1);
+  }
+  if (t.timed_out) {
+    DBLAYOUT_OBS_COUNT("search/timeouts", 1);
   }
 }
 
@@ -148,6 +153,31 @@ std::vector<std::vector<int>> ObjectGroups(size_t num_objects,
 }
 
 }  // namespace
+
+/// Wall-clock deadline of one Run/RunFrom invocation. Checked at iteration
+/// and candidate granularity: a candidate evaluation is the search's atomic
+/// unit of work, so expiry is detected within one cost-model call of the
+/// budget without slicing an accepted move in half (every layout the search
+/// holds between checks is complete and valid).
+struct TsGreedySearch::Deadline {
+  std::chrono::steady_clock::time_point at{};
+  bool active = false;
+
+  static Deadline FromBudgetMs(double budget_ms) {
+    Deadline d;
+    if (budget_ms >= 0) {
+      d.active = true;
+      d.at = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(budget_ms));
+    }
+    return d;
+  }
+
+  bool Expired() const {
+    return active && std::chrono::steady_clock::now() >= at;
+  }
+};
 
 Result<Layout> TsGreedySearch::InitialLayout(
     const WorkloadProfile& profile, const ResolvedConstraints& constraints) const {
@@ -288,6 +318,7 @@ Result<Layout> TsGreedySearch::InitialLayout(
 Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
                                            const ResolvedConstraints& constraints,
                                            Layout layout, const CostModel& cost_model,
+                                           const Deadline& deadline,
                                            SearchResult* stats) const {
   DBLAYOUT_TRACE_SPAN("search/greedy_widen");
   const std::vector<int64_t> sizes = db_.ObjectSizes();
@@ -303,6 +334,10 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
 
   for (int iter = 0; iter < options_.max_greedy_iterations; ++iter) {
     DBLAYOUT_TRACE_SPAN("search/greedy_iteration");
+    if (deadline.Expired()) {
+      telemetry.timed_out = true;
+      break;
+    }
     double best_cost = cost;
     Layout best_layout;
     std::vector<double> best_used;
@@ -310,6 +345,14 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
     bool found = false;
 
     for (const auto& group : groups) {
+      // Candidate-granularity deadline check: the whole layout held here is
+      // valid, so stopping mid-iteration still returns a usable best-so-far
+      // (the improvement found over the groups already scanned, if any, is
+      // accepted below before the outer loop observes the expiry).
+      if (deadline.Expired()) {
+        telemetry.timed_out = true;
+        break;
+      }
       const std::vector<int> current = layout.DisksOf(group[0]);
       std::vector<int> extras;
       for (int j : constraints.AllowedDisks(group, fleet_)) {
@@ -319,6 +362,10 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
       }
 
       auto consider_set = [&](const std::vector<int>& disk_set, MoveKind kind) {
+        if (deadline.Expired()) {
+          telemetry.timed_out = true;
+          return;
+        }
         Layout candidate = layout;
         for (int i : group) candidate.AssignProportional(i, disk_set, fleet_);
 
@@ -431,7 +478,8 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
 
 Result<Layout> TsGreedySearch::MigrateTowardTarget(
     const WorkloadProfile& profile, const ResolvedConstraints& constraints,
-    const Layout& target, const CostModel& cost_model, SearchResult* stats) const {
+    const Layout& target, const CostModel& cost_model, const Deadline& deadline,
+    SearchResult* stats) const {
   DBLAYOUT_TRACE_SPAN("search/migrate_toward_target");
   DBLAYOUT_CHECK(constraints.current_layout != nullptr);
   const std::vector<int64_t> sizes = db_.ObjectSizes();
@@ -494,11 +542,19 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
 
   std::vector<bool> migrated(groups.size(), false);
   for (;;) {
+    if (deadline.Expired()) {
+      stats->telemetry.timed_out = true;
+      break;
+    }
     double best_ratio = 0;  // cost gain per moved block
     size_t best_unit = units.size();
     Layout best_layout;
     double best_cost = cost;
     for (size_t u = 0; u < units.size(); ++u) {
+      if (deadline.Expired()) {
+        stats->telemetry.timed_out = true;
+        break;
+      }
       bool all_migrated = true;
       for (size_t gi : units[u]) all_migrated = all_migrated && migrated[gi];
       if (all_migrated) continue;
@@ -566,6 +622,9 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
   // probe search, migration steps, greedy candidates, the full-striping
   // fallback — counts exactly once.
   const CostModel cost_model(fleet_);
+  // One deadline for the whole run: probe search, migration, and the final
+  // greedy phase share the budget.
+  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms);
   DBLAYOUT_ASSIGN_OR_RETURN(Layout initial, InitialLayout(profile, constraints));
 
   const std::vector<int64_t> sizes = db_.ObjectSizes();
@@ -583,20 +642,20 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
       SearchResult target_stats;
       DBLAYOUT_ASSIGN_OR_RETURN(
           Layout target, GreedyWiden(profile, unconstrained, std::move(initial),
-                                     cost_model, &target_stats));
+                                     cost_model, deadline, &target_stats));
       // Keep the probe search's move counts and trajectory: they are real
       // evaluations of this run (the trajectory of the migration phase that
       // follows is appended after the probe's).
       MergeTelemetry(target_stats.telemetry, &result.telemetry);
       DBLAYOUT_ASSIGN_OR_RETURN(
-          initial,
-          MigrateTowardTarget(profile, constraints, target, cost_model, &result));
+          initial, MigrateTowardTarget(profile, constraints, target, cost_model,
+                                       deadline, &result));
     }
   }
 
   DBLAYOUT_ASSIGN_OR_RETURN(
-      Layout final_layout,
-      GreedyWiden(profile, constraints, std::move(initial), cost_model, &result));
+      Layout final_layout, GreedyWiden(profile, constraints, std::move(initial),
+                                       cost_model, deadline, &result));
   DBLAYOUT_RETURN_NOT_OK(final_layout.Validate(sizes, fleet_));
   DBLAYOUT_RETURN_NOT_OK(CheckConstraints(final_layout, constraints, db_, fleet_));
 
@@ -611,6 +670,7 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
         result.telemetry.used_full_striping_fallback = true;
         result.telemetry.cost_trajectory.push_back(striped_cost);
         result.layouts_evaluated = cost_model.WorkloadEvaluations();
+        result.timed_out = result.telemetry.timed_out;
         PublishSearchMetrics(result.telemetry);
         return result;
       }
@@ -618,6 +678,34 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
   }
   result.layout = std::move(final_layout);
   result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  result.timed_out = result.telemetry.timed_out;
+  PublishSearchMetrics(result.telemetry);
+  return result;
+}
+
+Result<SearchResult> TsGreedySearch::RunFrom(
+    const Layout& start, const WorkloadProfile& profile,
+    const ResolvedConstraints& constraints) const {
+  DBLAYOUT_TRACE_SPAN("search/run_from");
+  const std::vector<int64_t> sizes = db_.ObjectSizes();
+  if (start.num_objects() != static_cast<int>(db_.Objects().size()) ||
+      start.num_disks() != fleet_.num_disks()) {
+    return Status::InvalidArgument(
+        "starting layout does not match the database/fleet dimensions");
+  }
+  DBLAYOUT_RETURN_NOT_OK(start.Validate(sizes, fleet_));
+
+  SearchResult result;
+  const CostModel cost_model(fleet_);
+  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms);
+  DBLAYOUT_ASSIGN_OR_RETURN(
+      Layout final_layout,
+      GreedyWiden(profile, constraints, start, cost_model, deadline, &result));
+  DBLAYOUT_RETURN_NOT_OK(final_layout.Validate(sizes, fleet_));
+  DBLAYOUT_RETURN_NOT_OK(CheckConstraints(final_layout, constraints, db_, fleet_));
+  result.layout = std::move(final_layout);
+  result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  result.timed_out = result.telemetry.timed_out;
   PublishSearchMetrics(result.telemetry);
   return result;
 }

@@ -57,6 +57,14 @@ struct SearchOptions {
   /// Never return a layout costlier than FULL STRIPING: if full striping is
   /// valid, satisfies the constraints, and estimates cheaper, return it.
   bool fallback_to_full_striping = true;
+  /// Wall-clock budget for one Run/RunFrom invocation, in milliseconds.
+  /// Negative = unlimited. On expiry the search stops improving and returns
+  /// the best layout accepted so far (always valid — every intermediate
+  /// state of the greedy loop is a complete fraction matrix) with
+  /// SearchResult::timed_out set. A budget of 0 expires immediately and
+  /// returns the starting layout. Lets callers bound re-layout planning
+  /// under incident pressure (see src/resilience/evacuate.h).
+  double time_budget_ms = -1.0;
   /// Test-only fault injection: when set, invoked on the working layout
   /// after every accepted greedy move, *before* the debug-build invariant
   /// audit. Lets tests corrupt an intermediate state and verify that the
@@ -90,6 +98,9 @@ struct SearchTelemetry {
   /// whether the movement budget forced incremental migration mode.
   bool used_full_striping_fallback = false;
   bool used_incremental_migration = false;
+  /// Whether the wall-clock budget (SearchOptions::time_budget_ms) expired
+  /// before the search converged.
+  bool timed_out = false;
   /// Best workload cost (ms) after step 1 and after every accepted
   /// iteration — the convergence trajectory of Fig. 9's loop.
   std::vector<double> cost_trajectory;
@@ -107,6 +118,9 @@ struct SearchResult {
   int greedy_iterations = 0;     ///< improving iterations taken by step 2
   int64_t layouts_evaluated = 0; ///< cost-model invocations
   double initial_cost = 0;       ///< cost after step 1 (before widening)
+  /// The wall-clock budget expired; `layout` is the best-so-far valid
+  /// layout, not a converged one.
+  bool timed_out = false;
   SearchTelemetry telemetry;
 };
 
@@ -120,16 +134,28 @@ class TsGreedySearch {
   Result<SearchResult> Run(const WorkloadProfile& profile,
                            const ResolvedConstraints& constraints) const;
 
+  /// Incremental refinement from a caller-supplied starting layout: skips
+  /// step 1 (partitioning) and runs the greedy widen/jump/narrow loop from
+  /// `start`, honoring the movement budget and wall-clock budget. The
+  /// full-striping fallback is NOT applied — callers choose the start
+  /// precisely to bound movement (the evacuation planner starts from the
+  /// post-eviction layout). `start` must already satisfy `constraints`.
+  Result<SearchResult> RunFrom(const Layout& start, const WorkloadProfile& profile,
+                               const ResolvedConstraints& constraints) const;
+
   /// Step 1 only: the partitioned, disjointly-assigned starting layout.
   Result<Layout> InitialLayout(const WorkloadProfile& profile,
                                const ResolvedConstraints& constraints) const;
 
  private:
+  struct Deadline;
+
   /// Both helpers share one CostModel per Run so layouts_evaluated can be
   /// read off CostModel::WorkloadEvaluations() uniformly at the end.
   Result<Layout> GreedyWiden(const WorkloadProfile& profile,
                              const ResolvedConstraints& constraints, Layout layout,
-                             const CostModel& cost_model, SearchResult* stats) const;
+                             const CostModel& cost_model, const Deadline& deadline,
+                             SearchResult* stats) const;
 
   /// Incremental mode (movement budget in force): computes the layout the
   /// unconstrained search would pick, then migrates object groups from the
@@ -138,6 +164,7 @@ class TsGreedySearch {
   Result<Layout> MigrateTowardTarget(const WorkloadProfile& profile,
                                      const ResolvedConstraints& constraints,
                                      const Layout& target, const CostModel& cost_model,
+                                     const Deadline& deadline,
                                      SearchResult* stats) const;
 
   const Database& db_;

@@ -73,6 +73,9 @@ struct LintOptions {
   /// Statement count at which workload-progress-recommended (an opt-in rule,
   /// see MakeWorkloadProgressRule) suggests running with --progress.
   int progress_recommend_statements = 100;
+  /// Workload-block share above which an object placed entirely on one
+  /// non-redundant drive is flagged (layout-single-point-of-failure).
+  double spof_min_workload_share = 0.2;
 };
 
 /// Everything a lint run may inspect. `db` is required; every other input is

@@ -16,6 +16,8 @@
 //              layout-coaccess-shared-disk    warning  Section 5 seek pathology
 //              layout-capacity-headroom       warning  drives nearly full
 //              layout-thin-stripe             warning  sub-block slivers
+//              layout-single-point-of-failure warning  hot object on one
+//                                                      non-redundant drive
 //
 // Opt-in (registered via LintRunner::AddRule, see MakeWorkloadProgressRule):
 //   workload   workload-progress-recommended  note     search will be long;
@@ -535,6 +537,48 @@ class LayoutThinStripeRule : public LintRule {
   }
 };
 
+class LayoutSinglePointOfFailureRule : public LintRule {
+ public:
+  const char* id() const override { return "layout-single-point-of-failure"; }
+  const char* summary() const override {
+    return "workload-critical objects placed entirely on one non-redundant "
+           "drive: losing that drive loses the object and its workload share";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+  void Check(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    if (!LayoutDimensionsMatch(ctx) || ctx.input.fleet == nullptr) return;
+    const Layout& layout = *ctx.input.layout;
+    const DiskFleet& fleet = *ctx.input.fleet;
+    double total_blocks = 0;
+    for (int i = 0; i < layout.num_objects(); ++i) {
+      total_blocks += ctx.profile.NodeBlocks(i);
+    }
+    if (total_blocks <= 0) return;
+    for (int i = 0; i < layout.num_objects(); ++i) {
+      const double share = ctx.profile.NodeBlocks(i) / total_blocks;
+      if (share < ctx.options.spof_min_workload_share) continue;
+      if (layout.Width(i) != 1) continue;
+      const int j = layout.DisksOf(i).front();
+      if (fleet.disk(j).avail != Availability::kNone) continue;
+      Diagnostic d = MakeDiagnostic(
+          *this,
+          StrFormat("object '%s' carries %.0f%% of the workload's block "
+                    "accesses yet sits entirely on non-redundant drive '%s'; "
+                    "one drive failure loses the object and stalls that share "
+                    "of the workload",
+                    ctx.ObjectName(static_cast<size_t>(i)).c_str(),
+                    100.0 * share, fleet.disk(j).name.c_str()),
+          StrFormat("move '%s' to a parity or mirrored drive, or stripe it "
+                    "across several drives; dblayout_cli --resilience-report "
+                    "quantifies the degraded-mode cost",
+                    ctx.ObjectName(static_cast<size_t>(i)).c_str()));
+      d.objects = {ctx.ObjectName(static_cast<size_t>(i))};
+      d.disks = {fleet.disk(j).name};
+      out->push_back(std::move(d));
+    }
+  }
+};
+
 }  // namespace
 
 namespace {
@@ -590,6 +634,7 @@ std::vector<std::unique_ptr<LintRule>> DefaultLintRules() {
   rules.push_back(std::make_unique<LayoutCoaccessSharedDiskRule>());
   rules.push_back(std::make_unique<LayoutCapacityHeadroomRule>());
   rules.push_back(std::make_unique<LayoutThinStripeRule>());
+  rules.push_back(std::make_unique<LayoutSinglePointOfFailureRule>());
   return rules;
 }
 

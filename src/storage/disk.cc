@@ -59,7 +59,8 @@ DiskFleet DiskFleet::Heterogeneous(int m, double spread, uint64_t seed,
   return DiskFleet(std::move(drives));
 }
 
-Result<DiskFleet> DiskFleet::FromSpec(const std::string& text) {
+Result<DiskFleet> DiskFleet::FromSpec(const std::string& text,
+                                      const std::string& source) {
   DiskFleet fleet;
   std::istringstream in(text);
   std::string line;
@@ -74,13 +75,14 @@ Result<DiskFleet> DiskFleet::FromSpec(const std::string& text) {
     std::string avail;
     if (!(ls >> d.name >> capacity_gb >> d.seek_ms >> d.read_mb_s >> d.write_mb_s)) {
       return Status::ParseError(
-          StrFormat("disk spec line %d: expected "
+          StrFormat("%s:%d: expected "
                     "'name capacity_gb seek_ms read_mb_s write_mb_s [avail]'",
-                    lineno));
+                    source.c_str(), lineno));
     }
     if (capacity_gb <= 0 || d.seek_ms < 0 || d.read_mb_s <= 0 || d.write_mb_s <= 0) {
       return Status::InvalidArgument(
-          StrFormat("disk spec line %d: non-positive characteristic", lineno));
+          StrFormat("%s:%d: non-positive drive characteristic", source.c_str(),
+                    lineno));
     }
     d.capacity_blocks = BytesToBlocks(static_cast<int64_t>(capacity_gb * 1e9));
     if (ls >> avail) {
@@ -93,14 +95,16 @@ Result<DiskFleet> DiskFleet::FromSpec(const std::string& text) {
         d.avail = Availability::kMirroring;
       } else {
         return Status::ParseError(
-            StrFormat("disk spec line %d: unknown availability '%s'", lineno,
-                      avail.c_str()));
+            StrFormat("%s:%d: unknown availability '%s' (want none, parity, or "
+                      "mirroring)",
+                      source.c_str(), lineno, avail.c_str()));
       }
     }
     fleet.Add(std::move(d));
   }
   if (fleet.num_disks() == 0) {
-    return Status::InvalidArgument("disk spec contains no drives");
+    return Status::InvalidArgument(
+        StrFormat("%s: disk spec contains no drives", source.c_str()));
   }
   return fleet;
 }

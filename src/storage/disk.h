@@ -74,8 +74,10 @@ class DiskFleet {
 
   /// Parses a disk-specification file: one drive per line,
   /// `name capacity_gb seek_ms read_mb_s write_mb_s [none|parity|mirroring]`,
-  /// '#' comments and blank lines ignored.
-  static Result<DiskFleet> FromSpec(const std::string& text);
+  /// '#' comments and blank lines ignored. Parse and range errors carry
+  /// `source:line:` context (pass the file path as `source`).
+  static Result<DiskFleet> FromSpec(const std::string& text,
+                                    const std::string& source = "disks");
 
   int num_disks() const { return static_cast<int>(drives_.size()); }
   const DiskDrive& disk(int j) const { return drives_[static_cast<size_t>(j)]; }

@@ -30,37 +30,42 @@ bool Workload::HasConcurrencyStreams() const {
 namespace {
 
 /// Shared script walker for FromScript / FromScriptLenient: splits on ';' /
-/// GO while tracking `-- weight:` / `-- stream:` directives. Every parse
-/// failure goes through `on_error(text, status)`, which returns true to keep
-/// walking (lenient mode) or false to abort with that status (strict mode).
-Status WalkScript(const std::string& script, Workload& wl,
-                  const std::function<bool(const std::string&, const Status&)>& on_error) {
+/// GO while tracking `-- weight:` / `-- stream:` directives and 1-based line
+/// numbers. Every parse failure goes through `on_error(text, line, status)`,
+/// which returns OK to keep walking (lenient mode) or a status — typically
+/// the original re-wrapped with file:line context — to abort (strict mode).
+Status WalkScript(
+    const std::string& script, Workload& wl,
+    const std::function<Status(const std::string&, int, const Status&)>& on_error) {
   double pending_weight = 1.0;
   int pending_stream = 0;
   std::string current;
-  auto report = [&](const std::string& text, const Status& st) -> Status {
-    return on_error(text, st) ? Status::OK() : st;
-  };
+  int line_no = 0;
+  int stmt_start_line = 0;  ///< line where the accumulating statement began
   auto flush = [&]() -> Status {
     const std::string sql = Trim(current);
+    const int at_line = stmt_start_line > 0 ? stmt_start_line : line_no;
     current.clear();
+    stmt_start_line = 0;
     if (sql.empty()) {
       return Status::OK();
     }
     Status st = wl.Add(sql, pending_weight, pending_stream);
     pending_weight = 1.0;
     pending_stream = 0;
-    if (!st.ok()) return report(sql, st);
+    if (!st.ok()) return on_error(sql, at_line, st);
     return Status::OK();
   };
   for (const std::string& raw_line : Split(script, '\n')) {
+    ++line_no;
     const std::string line = Trim(raw_line);
     const std::string lower = ToLower(line);
     if (StartsWith(lower, "-- weight:")) {
       pending_weight = std::strtod(line.substr(10).c_str(), nullptr);
       if (pending_weight <= 0) {
-        DBLAYOUT_RETURN_NOT_OK(report(
-            line, Status::ParseError(StrFormat("bad weight line '%s'", line.c_str()))));
+        DBLAYOUT_RETURN_NOT_OK(on_error(
+            line, line_no,
+            Status::ParseError(StrFormat("bad weight line '%s'", line.c_str()))));
         pending_weight = 1.0;
       }
       continue;
@@ -68,8 +73,9 @@ Status WalkScript(const std::string& script, Workload& wl,
     if (StartsWith(lower, "-- stream:")) {
       pending_stream = std::atoi(line.substr(10).c_str());
       if (pending_stream <= 0) {
-        DBLAYOUT_RETURN_NOT_OK(report(
-            line, Status::ParseError(StrFormat("bad stream line '%s'", line.c_str()))));
+        DBLAYOUT_RETURN_NOT_OK(on_error(
+            line, line_no,
+            Status::ParseError(StrFormat("bad stream line '%s'", line.c_str()))));
         pending_stream = 0;
       }
       continue;
@@ -80,12 +86,14 @@ Status WalkScript(const std::string& script, Workload& wl,
       continue;
     }
     // Accumulate, splitting on ';'.
+    if (stmt_start_line == 0 && !line.empty()) stmt_start_line = line_no;
     std::string rest = raw_line;
     size_t pos;
     while ((pos = rest.find(';')) != std::string::npos) {
       current += rest.substr(0, pos);
       DBLAYOUT_RETURN_NOT_OK(flush());
       rest = rest.substr(pos + 1);
+      if (stmt_start_line == 0 && !Trim(rest).empty()) stmt_start_line = line_no;
     }
     current += rest;
     current += '\n';
@@ -99,21 +107,28 @@ Status WalkScript(const std::string& script, Workload& wl,
 Result<Workload> Workload::FromScript(const std::string& name,
                                       const std::string& script) {
   Workload wl(name);
+  // Strict mode: abort on the first failure, re-wrapped with file:line
+  // context (same code, so callers matching on codes are unaffected).
   DBLAYOUT_RETURN_NOT_OK(WalkScript(
-      script, wl, [](const std::string&, const Status&) { return false; }));
+      script, wl,
+      [&name](const std::string&, int line, const Status& st) -> Status {
+        return Status(st.code(), StrFormat("%s:%d: %s", name.c_str(), line,
+                                           st.message().c_str()));
+      }));
   return wl;
 }
 
 Workload Workload::FromScriptLenient(const std::string& name, const std::string& script,
                                      std::vector<ScriptError>* errors) {
   Workload wl(name);
-  const Status st = WalkScript(script, wl,
-                               [errors](const std::string& text, const Status& s) {
-                                 if (errors != nullptr) {
-                                   errors->push_back(ScriptError{text, s});
-                                 }
-                                 return true;
-                               });
+  const Status st = WalkScript(
+      script, wl,
+      [errors](const std::string& text, int line, const Status& s) -> Status {
+        if (errors != nullptr) {
+          errors->push_back(ScriptError{text, line, s});
+        }
+        return Status::OK();
+      });
   DBLAYOUT_CHECK(st.ok());  // the lenient walker swallows every error
   return wl;
 }

@@ -37,12 +37,15 @@ class Workload {
   /// Parses a workload script: statements separated by ';' or GO lines.
   /// Line comments of the form `-- weight: <w>` and `-- stream: <n>`
   /// immediately before a statement set that statement's weight / stream.
+  /// Parse failures carry `name:line:` context (pass the file path as
+  /// `name` when loading from a file).
   static Result<Workload> FromScript(const std::string& name, const std::string& script);
 
   /// One statement (or weight/stream directive) of a script that could not
   /// be parsed; produced by FromScriptLenient.
   struct ScriptError {
     std::string text;  ///< the offending statement or directive line
+    int line = 0;      ///< 1-based script line where the statement starts
     Status status;
   };
 

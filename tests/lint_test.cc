@@ -4,6 +4,7 @@
 // SARIF rendering is well-formed JSON carrying the right rule ids and
 // logical locations.
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -419,6 +420,53 @@ TEST(LintTest, MovementBoundQuietWithBaseline) {
   EXPECT_TRUE(ById(RunLintOn(input), "constraint-movement-bound").empty());
 }
 
+TEST(LintTest, MovementBoundAllowsBudgetExactlyEqualToForcedMovement) {
+  Database db = LintDb();
+  DiskFleet fleet = DiskFleet::Uniform(2);
+  fleet.disk(1).avail = Availability::kMirroring;
+  Layout current(static_cast<int>(db.Objects().size()), fleet.num_disks());
+  for (int i = 0; i < current.num_objects(); ++i) current.AssignEqual(i, {0});
+  const int big_a = db.ObjectIdOfTable("big_a").value();
+  Constraints constraints;
+  constraints.avail_requirements.emplace_back("big_a", Availability::kMirroring);
+  // Repairing the availability violation forces moving every big_a block; a
+  // budget of *exactly* that many blocks must be feasible (regression: the
+  // feasibility check used to reject exact equality when the fraction-times-
+  // total budget rounded a hair below the forced block count).
+  constraints.max_movement_fraction =
+      static_cast<double>(db.ObjectSizes()[static_cast<size_t>(big_a)]) /
+      static_cast<double>(db.TotalBlocks());
+  constraints.current_layout = &current;
+  LintInput input;
+  input.db = &db;
+  input.fleet = &fleet;
+  input.constraints = &constraints;
+  EXPECT_TRUE(ById(RunLintOn(input), "constraint-movement-bound").empty());
+}
+
+TEST(LintTest, MovementBoundFiresJustBelowForcedMovement) {
+  Database db = LintDb();
+  DiskFleet fleet = DiskFleet::Uniform(2);
+  fleet.disk(1).avail = Availability::kMirroring;
+  Layout current(static_cast<int>(db.Objects().size()), fleet.num_disks());
+  for (int i = 0; i < current.num_objects(); ++i) current.AssignEqual(i, {0});
+  const int big_a = db.ObjectIdOfTable("big_a").value();
+  Constraints constraints;
+  constraints.avail_requirements.emplace_back("big_a", Availability::kMirroring);
+  constraints.max_movement_fraction =
+      0.9 * static_cast<double>(db.ObjectSizes()[static_cast<size_t>(big_a)]) /
+      static_cast<double>(db.TotalBlocks());
+  constraints.current_layout = &current;
+  LintInput input;
+  input.db = &db;
+  input.fleet = &fleet;
+  input.constraints = &constraints;
+  const auto diags = ById(RunLintOn(input), "constraint-movement-bound");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(diags[0].objects, std::vector<std::string>{"big_a"});
+}
+
 // --- Layout rules ----------------------------------------------------------
 
 TEST(LintTest, LayoutInvalidFiresOnUnallocatedRows) {
@@ -558,6 +606,78 @@ TEST(LintTest, ThinStripeQuietOnFullStriping) {
   EXPECT_TRUE(ById(RunLintOn(input), "layout-thin-stripe").empty());
 }
 
+TEST(LintTest, SinglePointOfFailureFiresOnHotObjectOnNonRedundantDrive) {
+  Database db = LintDb();
+  const Workload wl = JoinWorkload();
+  const DiskFleet fleet = DiskFleet::Uniform(4);  // every drive kNone
+  Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  layout.AssignEqual(0, {0});  // big_a (~half the workload blocks) on D1 only
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+  input.fleet = &fleet;
+  input.layout = &layout;
+  const auto diags = ById(RunLintOn(input), "layout-single-point-of-failure");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(diags[0].objects, std::vector<std::string>{"big_a"});
+  EXPECT_EQ(diags[0].disks, std::vector<std::string>{fleet.disk(0).name});
+  EXPECT_FALSE(diags[0].fix_it.empty());
+}
+
+TEST(LintTest, SinglePointOfFailureQuietOnRedundantDrive) {
+  Database db = LintDb();
+  const Workload wl = JoinWorkload();
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  fleet.disk(0).avail = Availability::kMirroring;  // the pinned drive is safe
+  Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  layout.AssignEqual(0, {0});
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+  input.fleet = &fleet;
+  input.layout = &layout;
+  EXPECT_TRUE(ById(RunLintOn(input), "layout-single-point-of-failure").empty());
+}
+
+TEST(LintTest, SinglePointOfFailureQuietWhenStriped) {
+  Database db = LintDb();
+  const Workload wl = JoinWorkload();
+  const DiskFleet fleet = DiskFleet::Uniform(4);
+  const Layout fs =  // every object wide: no single drive is fatal
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+  input.fleet = &fleet;
+  input.layout = &fs;
+  EXPECT_TRUE(ById(RunLintOn(input), "layout-single-point-of-failure").empty());
+}
+
+TEST(LintTest, SinglePointOfFailureThresholdIsConfigurable) {
+  Database db = LintDb();
+  const Workload wl = JoinWorkload();
+  const DiskFleet fleet = DiskFleet::Uniform(4);
+  Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  layout.AssignEqual(0, {0});  // big_a: just under half the workload blocks
+  LintInput input;
+  input.db = &db;
+  input.workload = &wl;
+  input.fleet = &fleet;
+  input.layout = &layout;
+  LintOptions strict;
+  strict.spof_min_workload_share = 0.01;
+  EXPECT_FALSE(ById(RunLintOn(input, strict),
+                    "layout-single-point-of-failure").empty());
+  LintOptions lax;
+  lax.spof_min_workload_share = 0.9;  // nothing carries 90% of the blocks
+  EXPECT_TRUE(ById(RunLintOn(input, lax),
+                   "layout-single-point-of-failure").empty());
+}
+
 // --- Runner / report -------------------------------------------------------
 
 TEST(LintTest, RunnerRequiresDatabase) {
@@ -589,14 +709,19 @@ TEST(LintTest, DiagnosticsSortedMostSevereFirst) {
 // --- Renderers -------------------------------------------------------------
 
 /// The canonical mixed-severity scenario used by the renderer tests: one
-/// error (unknown constraint object), two warnings (full striping of the
-/// co-accessed pair; the dead table).
+/// error (unknown constraint object) and four warnings (the co-accessed
+/// pair sharing a drive; the dead table; two single-point-of-failure
+/// findings for the big tables pinned to one non-redundant drive).
 LintReport GoldenReport() {
   static Database db = LintDb();
   static const Workload wl = JoinWorkload();
   static const DiskFleet fleet = DiskFleet::Uniform(4);
-  static const Layout fs =
-      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  static const Layout fs = [] {
+    Layout l = Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+    l.AssignEqual(0, {0});  // big_a and big_b both on D1: the co-accessed
+    l.AssignEqual(1, {0});  // pair shares one non-redundant drive
+    return l;
+  }();
   static Constraints constraints = [] {
     Constraints c;
     c.co_located.emplace_back("big_a", "ghost_t");
@@ -608,7 +733,7 @@ LintReport GoldenReport() {
   input.fleet = &fleet;
   input.constraints = &constraints;
   input.layout = &fs;
-  input.layout_label = "full_striping";
+  input.layout_label = "pinned_join_pair";
   return RunLintOn(input);
 }
 
@@ -616,6 +741,12 @@ TEST(LintTest, TextRendererMatchesGoldenFile) {
   const std::string got = RenderLintText(GoldenReport());
   const std::string path =
       std::string(DBLAYOUT_TESTDATA_DIR) + "/lint_golden.txt";
+  if (std::getenv("DBLAYOUT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << got;
+    ASSERT_TRUE(out) << "cannot regenerate " << path;
+    return;
+  }
   std::ifstream in(path);
   ASSERT_TRUE(in) << "missing golden file " << path;
   std::ostringstream want;

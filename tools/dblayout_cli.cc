@@ -33,6 +33,8 @@
 #include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "resilience/degraded.h"
+#include "resilience/evacuate.h"
 #include "sql/ddl.h"
 #include "workload/analyzer.h"
 #include "workload/trace.h"
@@ -59,6 +61,8 @@ int Usage(const char* argv0) {
                "          [--concurrency] [--save-layout FILE] [--evaluate FILE]\n"
                "          [--lint] [--format text|json|sarif] [--fail-on note|warn|error]\n"
                "          [--metrics-out FILE] [--trace-out FILE] [--progress]\n"
+               "          [--fault-plan FILE] [--resilience-report]\n"
+               "          [--evacuate DRIVE] [--time-budget-ms MS]\n"
                "          [--seed N] [--tpch [SCALE]]\n",
                argv0);
   return 2;
@@ -121,7 +125,7 @@ int RunLint(const std::string& schema_path, const std::string& workload_path,
 
   auto disks_text = ReadFile(disks_path);
   if (!disks_text.ok()) return LintFail("disks", disks_text.status());
-  auto fleet = DiskFleet::FromSpec(disks_text.value());
+  auto fleet = DiskFleet::FromSpec(disks_text.value(), disks_path);
   if (!fleet.ok()) return LintFail("disks", fleet.status());
 
   Layout current;
@@ -190,6 +194,9 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   bool tpch = false;
   double tpch_scale = 1.0;
+  std::string fault_plan_path, evacuate_drive;
+  bool resilience_report = false;
+  double time_budget_ms = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -296,6 +303,26 @@ int main(int argc, char** argv) {
       trace_out = arg.substr(12);
     } else if (arg == "--progress") {
       progress = true;
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      fault_plan_path = v;
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      fault_plan_path = arg.substr(13);
+    } else if (arg == "--resilience-report") {
+      resilience_report = true;
+    } else if (arg == "--evacuate") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      evacuate_drive = v;
+    } else if (arg.rfind("--evacuate=", 0) == 0) {
+      evacuate_drive = arg.substr(11);
+    } else if (arg == "--time-budget-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      time_budget_ms = std::strtod(v, nullptr);
+    } else if (arg.rfind("--time-budget-ms=", 0) == 0) {
+      time_budget_ms = std::strtod(arg.c_str() + 17, nullptr);
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -333,6 +360,8 @@ int main(int argc, char** argv) {
     return Usage(argv[0]);  // exactly one of --workload / --trace
   }
 
+  options.search.time_budget_ms = time_budget_ms;
+
   // Telemetry: any of --metrics-out/--trace-out/--progress switches the
   // metrics registry on; --trace-out additionally starts span buffering.
   SetGlobalSeed(seed);
@@ -369,15 +398,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
     return 1;
   };
+  // Unusable *inputs* (unreadable or malformed files) exit 2, like usage
+  // errors, so scripts can tell "your input is broken" (2) apart from "the
+  // advisor failed on well-formed inputs" (1).
+  auto fail_input = [](const char* what, const Status& st) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return 2;
+  };
 
   Result<Database> db = Status::Internal("unset");
   if (tpch) {
     db = benchdata::MakeTpchDatabase(tpch_scale);
   } else {
     auto schema_text = ReadFile(schema_path);
-    if (!schema_text.ok()) return fail("schema", schema_text.status());
+    if (!schema_text.ok()) return fail_input("schema", schema_text.status());
     db = ParseSchemaScript("database", schema_text.value());
-    if (!db.ok()) return fail("schema", db.status());
+    if (!db.ok()) return fail_input("schema", db.status());
   }
   if (dump_schema) std::printf("%s\n", DumpSchema(db.value()).c_str());
   std::printf("%s\n", db->ToString().c_str());
@@ -388,26 +424,26 @@ int main(int argc, char** argv) {
     if (!wl.ok()) return fail("workload", wl.status());
   } else if (!trace_path.empty()) {
     auto trace_text = ReadFile(trace_path);
-    if (!trace_text.ok()) return fail("trace", trace_text.status());
+    if (!trace_text.ok()) return fail_input("trace", trace_text.status());
     TraceOptions topt;
     topt.sessions_as_streams = concurrency;
-    wl = WorkloadFromTrace("trace", trace_text.value(), topt);
-    if (!wl.ok()) return fail("trace", wl.status());
+    wl = WorkloadFromTrace(trace_path, trace_text.value(), topt);
+    if (!wl.ok()) return fail_input("trace", wl.status());
     options.model_concurrency = concurrency;
   } else {
     auto workload_text = ReadFile(workload_path);
-    if (!workload_text.ok()) return fail("workload", workload_text.status());
-    wl = Workload::FromScript("workload", workload_text.value());
-    if (!wl.ok()) return fail("workload", wl.status());
+    if (!workload_text.ok()) return fail_input("workload", workload_text.status());
+    wl = Workload::FromScript(workload_path, workload_text.value());
+    if (!wl.ok()) return fail_input("workload", wl.status());
     options.model_concurrency = concurrency && wl->HasConcurrencyStreams();
   }
   std::printf("workload: %zu statements, total weight %.0f\n\n", wl->size(),
               wl->TotalWeight());
 
   auto disks_text = ReadFile(disks_path);
-  if (!disks_text.ok()) return fail("disks", disks_text.status());
-  auto fleet = DiskFleet::FromSpec(disks_text.value());
-  if (!fleet.ok()) return fail("disks", fleet.status());
+  if (!disks_text.ok()) return fail_input("disks", disks_text.status());
+  auto fleet = DiskFleet::FromSpec(disks_text.value(), disks_path);
+  if (!fleet.ok()) return fail_input("disks", fleet.status());
   std::printf("drives:\n%s\n", fleet->ToString().c_str());
 
   Layout current;
@@ -461,20 +497,107 @@ int main(int argc, char** argv) {
     out << rec->layout.ToCsv(object_names, fleet.value());
     std::printf("recommended layout written to %s\n\n", save_layout_path.c_str());
   }
+  Layout manual;
+  bool have_manual = false;
   if (!evaluate_path.empty()) {
     auto csv = ReadFile(evaluate_path);
-    if (!csv.ok()) return fail("evaluate", csv.status());
-    auto manual = Layout::FromCsv(csv.value(), object_names, fleet.value());
-    if (!manual.ok()) return fail("evaluate", manual.status());
-    if (Status st = manual->Validate(db->ObjectSizes(), fleet.value()); !st.ok()) {
-      return fail("evaluate: invalid layout", st);
+    if (!csv.ok()) return fail_input("evaluate", csv.status());
+    auto parsed = Layout::FromCsv(csv.value(), object_names, fleet.value());
+    if (!parsed.ok()) return fail_input("evaluate", parsed.status());
+    if (Status st = parsed->Validate(db->ObjectSizes(), fleet.value()); !st.ok()) {
+      return fail_input("evaluate: invalid layout", st);
     }
+    manual = std::move(parsed.value());
+    have_manual = true;
     const CostModel cm(fleet.value());
-    const double manual_cost = cm.WorkloadCost(profile.value(), manual.value());
+    const double manual_cost = cm.WorkloadCost(profile.value(), manual);
     std::printf("evaluated layout %s: estimated cost %.0f ms "
                 "(recommended %.0f ms, full striping %.0f ms)\n\n",
                 evaluate_path.c_str(), manual_cost, rec->estimated_cost_ms,
                 rec->full_striping_cost_ms);
+  }
+
+  // Resilience analyses run against the layout being shipped: the manually
+  // evaluated one when --evaluate is given, else the recommendation.
+  const Layout& subject = have_manual ? manual : rec->layout;
+  const char* subject_label = have_manual ? evaluate_path.c_str() : "recommended";
+
+  if (resilience_report) {
+    auto report = EvaluateResilience(db.value(), fleet.value(), profile.value(),
+                                     subject);
+    if (!report.ok()) return fail("resilience-report", report.status());
+    rec->resilience = std::make_shared<const ResilienceReport>(report.value());
+    std::printf("resilience of %s layout:\n%s\n", subject_label,
+                RenderResilienceReport(report.value()).c_str());
+  }
+
+  if (!fault_plan_path.empty()) {
+    auto plan_text = ReadFile(fault_plan_path);
+    if (!plan_text.ok()) return fail_input("fault-plan", plan_text.status());
+    auto plan = FaultPlan::FromSpec(plan_text.value(), fault_plan_path);
+    if (!plan.ok()) return fail_input("fault-plan", plan.status());
+    auto impact = EvaluateFaultPlanCost(db.value(), fleet.value(), profile.value(),
+                                        subject, plan.value());
+    if (!impact.ok()) return fail("fault-plan", impact.status());
+    std::printf("fault plan %s against %s layout:\n"
+                "  healthy workload cost %.0f ms, degraded %.0f ms (+%.1f%%)\n",
+                fault_plan_path.c_str(), subject_label, impact->healthy_cost_ms,
+                impact->degraded_cost_ms,
+                impact->healthy_cost_ms > 0
+                    ? 100.0 * (impact->degraded_cost_ms - impact->healthy_cost_ms) /
+                          impact->healthy_cost_ms
+                    : 0.0);
+    if (impact->lost_object_names.empty()) {
+      std::printf("  no objects lost (every failed drive is redundant)\n\n");
+    } else {
+      std::printf("  LOST objects (failed non-redundant drives): %s\n\n",
+                  Join(impact->lost_object_names, ", ").c_str());
+    }
+    if (simulate) {
+      // Replay the workload on the degraded fleet, with the plan's worst
+      // transient-error rate driving retry-with-backoff in the simulators.
+      ExecutionOptions degraded_opts;
+      degraded_opts.io.retry.transient_error_rate = impact->resolved.max_transient_rate;
+      degraded_opts.queue.retry.transient_error_rate =
+          impact->resolved.max_transient_rate;
+      ExecutionSimulator degraded_sim(db.value(), impact->resolved.degraded_fleet,
+                                      degraded_opts);
+      std::vector<WeightedPlan> plans;
+      for (const auto& s : profile->statements) {
+        plans.push_back(WeightedPlan{s.plan.get(), s.weight});
+      }
+      auto t_degraded = degraded_sim.ExecutePlans(plans, subject);
+      if (!t_degraded.ok()) return fail("fault-plan simulate", t_degraded.status());
+      std::printf("  simulated degraded execution: %.0f ms\n\n", t_degraded.value());
+    }
+  }
+
+  if (!evacuate_drive.empty()) {
+    EvacuationOptions evac_options;
+    evac_options.max_movement_fraction = max_move;
+    evac_options.search = options.search;
+    auto plan = PlanEvacuation(db.value(), fleet.value(), profile.value(), subject,
+                               evacuate_drive, evac_options);
+    if (!plan.ok()) return fail("evacuate", plan.status());
+    std::printf("%s\n", RenderEvacuationPlan(plan.value(), fleet.value()).c_str());
+    // Independent validation of the emitted plan (also greppable by CI).
+    Status valid = plan->target.Validate(db->ObjectSizes(), fleet.value());
+    if (valid.ok()) {
+      for (int i = 0; i < plan->target.num_objects(); ++i) {
+        if (plan->target.x(i, plan->failed_drive) > 0) {
+          valid = Status::Internal(StrFormat(
+              "object %d still has blocks on the evacuated drive", i));
+          break;
+        }
+      }
+    }
+    if (valid.ok() && plan->movement_budget_blocks >= 0 &&
+        plan->moved_blocks > plan->movement_budget_blocks * (1 + 1e-9)) {
+      valid = Status::Internal("movement exceeds the budget");
+    }
+    if (!valid.ok()) return fail("evacuate: plan failed validation", valid);
+    std::printf("evacuation plan validates: drive %s empty, %.0f blocks moved\n\n",
+                plan->failed_drive_name.c_str(), plan->moved_blocks);
   }
   if (emit_script) {
     std::printf("%s\n",
