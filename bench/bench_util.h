@@ -99,6 +99,7 @@ inline std::string TelemetryJson(const SearchTelemetry& t) {
       "\"narrow_considered\":%lld,\"narrow_accepted\":%lld,"
       "\"migrate_considered\":%lld,\"migrate_accepted\":%lld,"
       "\"capacity_rejected\":%lld,\"movement_rejected\":%lld,"
+      "\"full_evals\":%lld,\"delta_evals\":%lld,"
       "\"used_full_striping_fallback\":%s,\"used_incremental_migration\":%s,"
       "\"statements\":%lld,\"subplans\":%lld,\"distinct_signatures\":%lld,"
       "\"cost_trajectory\":%s}",
@@ -112,6 +113,8 @@ inline std::string TelemetryJson(const SearchTelemetry& t) {
       static_cast<long long>(t.migrate_accepted),
       static_cast<long long>(t.capacity_rejected),
       static_cast<long long>(t.movement_rejected),
+      static_cast<long long>(t.full_evals),
+      static_cast<long long>(t.delta_evals),
       t.used_full_striping_fallback ? "true" : "false",
       t.used_incremental_migration ? "true" : "false",
       static_cast<long long>(t.statements), static_cast<long long>(t.subplans),

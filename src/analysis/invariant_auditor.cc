@@ -156,13 +156,13 @@ Status InvariantAuditor::AuditPartitioning(const WeightedGraph& g,
   return Status::OK();
 }
 
-Status InvariantAuditor::AuditSubplanCost(const SubplanAccess& subplan,
-                                          const Layout& layout,
-                                          const DiskFleet& fleet,
-                                          double reported_cost) const {
-  // Independent recomputation of the §5 formula: per drive, transfer time of
-  // every co-accessed fragment plus the interleaving seek term, then the max
-  // over drives.
+namespace {
+
+/// Independent recomputation of the §5 sub-plan formula: per drive, transfer
+/// time of every co-accessed fragment plus the interleaving seek term, then
+/// the max over drives. Shared by the sub-plan and workload-total audits.
+Status RecomputeSubplanCost(const SubplanAccess& subplan, const Layout& layout,
+                            const DiskFleet& fleet, double* out) {
   double max_cost = 0;
   for (int j = 0; j < fleet.num_disks(); ++j) {
     const DiskDrive& d = fleet.disk(j);
@@ -191,6 +191,11 @@ Status InvariantAuditor::AuditSubplanCost(const SubplanAccess& subplan,
       min_blocks = std::min(min_blocks, blocks_on_disk);
       ++co_resident;
     }
+    // Empty placement on this drive (no access has a positive fraction):
+    // min_blocks is still the +inf sentinel and must not reach arithmetic.
+    // The oracle (CostModel::SubplanCost) skips such drives the same way,
+    // so the two definitions of "zero-cost drive" cannot drift apart.
+    if (co_resident == 0) continue;
     const double seek =
         co_resident > 1 ? static_cast<double>(co_resident) * d.seek_ms * min_blocks
                         : 0.0;
@@ -202,6 +207,18 @@ Status InvariantAuditor::AuditSubplanCost(const SubplanAccess& subplan,
     }
     max_cost = std::max(max_cost, disk_time);
   }
+  *out = max_cost;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InvariantAuditor::AuditSubplanCost(const SubplanAccess& subplan,
+                                          const Layout& layout,
+                                          const DiskFleet& fleet,
+                                          double reported_cost) const {
+  double max_cost = 0;
+  DBLAYOUT_RETURN_NOT_OK(RecomputeSubplanCost(subplan, layout, fleet, &max_cost));
   const double tol =
       options_.cost_relative_tolerance * std::max(1.0, std::abs(max_cost));
   if (!std::isfinite(reported_cost) || std::abs(reported_cost - max_cost) > tol) {
@@ -209,6 +226,35 @@ Status InvariantAuditor::AuditSubplanCost(const SubplanAccess& subplan,
         "audit: reported sub-plan cost %.9g != max-over-disks recomputation "
         "%.9g",
         reported_cost, max_cost));
+  }
+  return Status::OK();
+}
+
+Status InvariantAuditor::AuditWorkloadTotal(
+    const std::vector<WeightedSubplanSpan>& statements, const Layout& layout,
+    const DiskFleet& fleet, double reported_total) const {
+  double total = 0;
+  for (const WeightedSubplanSpan& s : statements) {
+    if (!std::isfinite(s.weight) || s.weight < 0) {
+      return Status::InvalidArgument(
+          StrFormat("audit: statement has invalid weight %g", s.weight));
+    }
+    double statement_cost = 0;
+    for (size_t p = 0; p < s.count; ++p) {
+      double subplan_cost = 0;
+      DBLAYOUT_RETURN_NOT_OK(
+          RecomputeSubplanCost(s.subplans[p], layout, fleet, &subplan_cost));
+      statement_cost += subplan_cost;
+    }
+    total += s.weight * statement_cost;
+  }
+  const double tol =
+      options_.cost_relative_tolerance * std::max(1.0, std::abs(total));
+  if (!std::isfinite(reported_total) || std::abs(reported_total - total) > tol) {
+    return Status::InvalidArgument(StrFormat(
+        "audit: reported workload total %.9g != from-scratch recomputation "
+        "%.9g (incremental delta-costing drift)",
+        reported_total, total));
   }
   return Status::OK();
 }

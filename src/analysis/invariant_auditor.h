@@ -91,6 +91,25 @@ class InvariantAuditor {
   Status AuditSubplanCost(const SubplanAccess& subplan, const Layout& layout,
                           const DiskFleet& fleet, double reported_cost) const;
 
+  /// One statement's weight and non-blocking sub-plans, viewed without the
+  /// workload-analysis types (this library must not depend on workload/).
+  /// The span aliases caller-owned sub-plans for the duration of the audit.
+  struct WeightedSubplanSpan {
+    double weight = 1.0;
+    const SubplanAccess* subplans = nullptr;
+    size_t count = 0;
+  };
+
+  /// Workload-total sanity (§5, Fig. 2): independently recomputes
+  /// sum_Q w_Q * sum_P max_j(transfer + seek) over `statements` under
+  /// `layout` and checks `reported_total` against it within
+  /// cost_relative_tolerance. This is the full-recompute parity check behind
+  /// the LayoutEvaluator's incremental delta costing: the delta path may
+  /// only ever disagree with a from-scratch evaluation by FP tolerance.
+  Status AuditWorkloadTotal(const std::vector<WeightedSubplanSpan>& statements,
+                            const Layout& layout, const DiskFleet& fleet,
+                            double reported_total) const;
+
   const AuditOptions& options() const { return options_; }
 
  private:

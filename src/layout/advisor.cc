@@ -5,6 +5,7 @@
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 #include "common/strutil.h"
+#include "layout/evaluator.h"
 #include "obs/trace.h"
 
 namespace dblayout {
@@ -92,11 +93,16 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   DBLAYOUT_DCHECK_OK(auditor.AuditLayout(rec.layout, db_.ObjectSizes(), fleet_));
   DBLAYOUT_DCHECK_OK(auditor.AuditLayoutRows(rec.full_striping));
 
+  // Reference costs go through the evaluator too: Bind is a full §5
+  // recomputation, bit-identical to CostModel::WorkloadCost, so the numbers
+  // are unchanged while the evaluation shows up in the same evaluator/
+  // cost-model accounting as the search's.
   const CostModel cost_model(fleet_);
-  rec.full_striping_cost_ms = cost_model.WorkloadCost(*objective, rec.full_striping);
+  LayoutEvaluator reference_eval(*objective, cost_model);
+  rec.full_striping_cost_ms = reference_eval.Bind(rec.full_striping);
   if (options_.constraints.current_layout != nullptr) {
     rec.current_cost_ms =
-        cost_model.WorkloadCost(*objective, *options_.constraints.current_layout);
+        reference_eval.Bind(*options_.constraints.current_layout);
   }
   for (const auto& s : profile.statements) {
     StatementImpact impact;

@@ -31,8 +31,18 @@ double CostModel::SubplanCost(const SubplanAccess& subplan, const Layout& layout
       min_blocks_on_disk = std::min(min_blocks_on_disk, blocks_on_disk);
       ++k;
     }
+    // Empty placement on this disk: every access of the sub-plan has
+    // frac <= 0 here, so there is no transfer and min_blocks_on_disk is
+    // still the +inf sentinel. Skip before the seek term so the sentinel can
+    // never reach an arithmetic path (k > 1 alone also guards it, but only
+    // implicitly — the explicit contract is "no placement, zero cost", and
+    // the InvariantAuditor recomputation skips such disks identically).
+    if (k == 0) continue;
     double seek = 0;
-    if (k > 1) seek = static_cast<double>(k) * d.seek_ms * min_blocks_on_disk;
+    if (k > 1) {
+      DBLAYOUT_DCHECK(std::isfinite(min_blocks_on_disk));
+      seek = static_cast<double>(k) * d.seek_ms * min_blocks_on_disk;
+    }
     // Per-disk times are sums of non-negative terms; anything else means a
     // corrupted layout fraction or drive parameter reached the hot path.
     DBLAYOUT_DCHECK(std::isfinite(transfer) && transfer >= 0);
@@ -90,6 +100,11 @@ double CostModel::WorkloadCost(const WorkloadProfile& profile,
     DBLAYOUT_OBS_COUNT("cost_model/workload_evals", 1);
   }
   return total;
+}
+
+void CostModel::NoteExternalWorkloadEvaluation() const {
+  workload_evals_.fetch_add(1, std::memory_order_relaxed);
+  DBLAYOUT_OBS_COUNT("cost_model/workload_evals", 1);
 }
 
 }  // namespace dblayout

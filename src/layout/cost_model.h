@@ -39,14 +39,26 @@ class CostModel {
   /// sum_Q w_Q * Cost(Q, L) — the objective of Fig. 2.
   double WorkloadCost(const WorkloadProfile& profile, const Layout& layout) const;
 
-  /// Number of WorkloadCost invocations made through this instance. The
-  /// search derives SearchResult::layouts_evaluated from this counter so
-  /// every full-workload evaluation — greedy candidates, migration steps,
-  /// the final full-striping fallback — is counted uniformly at the source
-  /// instead of by ad-hoc increments at each call site.
+  /// Number of workload-level evaluations made through this instance: every
+  /// WorkloadCost invocation plus every evaluation recorded via
+  /// NoteExternalWorkloadEvaluation. The search derives
+  /// SearchResult::layouts_evaluated from this counter so every candidate —
+  /// greedy moves, migration steps, the final full-striping fallback,
+  /// whether costed by full recomputation or by the LayoutEvaluator's delta
+  /// path — is counted uniformly at the source instead of by ad-hoc
+  /// increments at each call site.
   int64_t WorkloadEvaluations() const {
     return workload_evals_.load(std::memory_order_relaxed);
   }
+
+  /// Records one workload-level evaluation performed outside WorkloadCost.
+  /// The LayoutEvaluator scores a full candidate layout while re-costing
+  /// only the affected sub-plans; it still *evaluated a layout*, so it must
+  /// land in the same counter (and the same `cost_model/workload_evals` obs
+  /// metric) as a full recomputation — otherwise layouts_evaluated would
+  /// silently change meaning with SearchOptions::num_threads or the delta
+  /// path enabled. Thread-safe.
+  void NoteExternalWorkloadEvaluation() const;
 
   const DiskFleet& fleet() const { return fleet_; }
 

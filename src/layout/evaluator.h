@@ -1,0 +1,196 @@
+// Incremental workload evaluation engine.
+//
+// The §5 cost decomposes as
+//
+//   WorkloadCost(L) = sum_Q w_Q * sum_{P in Q} max_j (Transfer_Pj + Seek_Pj)
+//
+// — a weighted sum over sub-plans of a per-sub-plan term that depends only
+// on the layout rows of the objects that sub-plan touches. Moving one object
+// (or one co-location group) therefore invalidates exactly the sub-plans in
+// its inverted-index entry; every other cached sub-plan cost is still exact.
+// The LayoutEvaluator exploits this: it binds to one (profile, fleet) pair,
+// caches the per-sub-plan costs of the current layout, and scores a
+// candidate move by re-costing only the affected sub-plans and re-summing
+// the totals in the *same association order* as CostModel::WorkloadCost.
+// Because CostModel::SubplanCost is a pure function and the summation order
+// is identical, a delta-scored total is bit-identical to a full
+// recomputation of the candidate — which is what makes the greedy search's
+// results independent of whether the delta path, the full path, or parallel
+// scoring produced them. CostModel stays the thin ground-truth oracle: the
+// evaluator calls it per sub-plan and is DCHECK-audited against a
+// from-scratch recomputation (InvariantAuditor::AuditWorkloadTotal) after
+// every committed move.
+//
+// Thread model: Score* methods are const, touch shared state only read-only,
+// and confine all mutation to a caller-provided Scratch — one Scratch per
+// worker makes concurrent scoring of disjoint candidates race-free. The
+// staged Delta*/Commit/Revert mutation API is single-threaded.
+
+#ifndef DBLAYOUT_LAYOUT_EVALUATOR_H_
+#define DBLAYOUT_LAYOUT_EVALUATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "layout/cost_model.h"
+#include "storage/layout.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+
+class LayoutEvaluator {
+ public:
+  /// Binds to one (profile, cost model) pair. Both must outlive the
+  /// evaluator; the profile's statement/sub-plan structure must not change.
+  LayoutEvaluator(const WorkloadProfile& profile, const CostModel& cost_model);
+
+  /// Per-worker scoring state: a private copy of the bound layout plus
+  /// epoch-stamped sub-plan cost overrides. Valid until the next
+  /// Bind/Commit; create fresh Scratches (MakeScratch) after either.
+  struct Scratch {
+    Layout layout;
+    std::vector<double> override_cost;  ///< per flat sub-plan, current epoch
+    std::vector<int64_t> stamp;         ///< epoch that wrote override_cost
+    int64_t epoch = 0;
+    std::vector<int32_t> affected;      ///< flat ids touched by this score
+    std::vector<double> saved_rows;     ///< row backup while scoring
+  };
+
+  /// Full recomputation: copies `layout`, re-costs every sub-plan through
+  /// the oracle, and caches the results. Counts one (full) workload
+  /// evaluation. Returns the total, bit-identical to
+  /// CostModel::WorkloadCost(profile, layout).
+  double Bind(const Layout& layout);
+
+  /// Cached total cost of the currently bound layout, ms. No evaluation is
+  /// performed (and none is counted).
+  double TotalCost() const { return total_; }
+
+  /// The currently bound layout.
+  const Layout& layout() const { return layout_; }
+
+  /// Test/fault-injection access to the bound layout. Mutating it stales the
+  /// cached sub-plan costs; callers must Bind() again before scoring (the
+  /// greedy search uses this only for SearchOptions::post_move_hook_for_test,
+  /// whose corruption is meant to be caught by the row audit).
+  Layout& mutable_layout_for_test() { return layout_; }
+
+  Scratch MakeScratch() const;
+
+  // -- Thread-safe candidate scoring -----------------------------------------
+  // Pure w.r.t. the evaluator: the candidate is "the bound layout with every
+  // object of `objects` re-assigned", applied inside `scratch` and undone
+  // before returning. Each call counts one (delta) workload evaluation.
+
+  /// Candidate rows: every object of `objects` assigned proportionally
+  /// across `disks` (Layout::AssignProportional arithmetic, bit-identical).
+  double ScoreProportionalMove(const std::vector<int>& objects,
+                               const std::vector<int>& disks,
+                               Scratch* scratch) const;
+
+  /// Candidate rows: every object of `objects` takes its row from `rows`
+  /// (used by migration toward a target layout).
+  double ScoreRowsFromMove(const std::vector<int>& objects, const Layout& rows,
+                           Scratch* scratch) const;
+
+  // -- Staged mutation (single-threaded) --------------------------------------
+
+  /// Stages "assign `new_fractions` (a full row, one entry per disk) to
+  /// `object`" and returns the candidate total. Commit() adopts it;
+  /// Revert() (or staging another move) drops it.
+  double DeltaForMove(int object, const std::vector<double>& new_fractions);
+
+  /// Stages a whole-group proportional re-assignment (the greedy search's
+  /// accepted move).
+  double DeltaForProportionalMove(const std::vector<int>& objects,
+                                  const std::vector<int>& disks);
+
+  /// Stages "every object of `objects` takes its row from `rows`" (the
+  /// migration step's accepted move).
+  double DeltaForRowsFromMove(const std::vector<int>& objects, const Layout& rows);
+
+  /// Adopts the staged move: writes the new rows into the bound layout,
+  /// installs the re-costed sub-plan cache entries, and updates TotalCost()
+  /// to the staged total. Debug builds then audit the new total against a
+  /// from-scratch recomputation (InvariantAuditor::AuditWorkloadTotal).
+  void Commit();
+
+  /// Drops the staged move; the bound layout and caches are untouched.
+  void Revert();
+
+  /// Evaluation accounting: delta scorings (Score*/Delta*) vs full
+  /// recomputations (Bind). Both are also recorded in the bound CostModel's
+  /// WorkloadEvaluations() so layouts_evaluated stays uniform.
+  int64_t delta_evaluations() const {
+    return delta_evals_.load(std::memory_order_relaxed);
+  }
+  int64_t full_evaluations() const { return full_evals_; }
+
+  int num_subplans() const { return static_cast<int>(flat_.size()); }
+
+ private:
+  /// One flattened (statement, sub-plan) entry, in WorkloadCost's iteration
+  /// order.
+  struct FlatSubplan {
+    const SubplanAccess* subplan = nullptr;
+  };
+  /// One statement's weight and its contiguous span in flat_ order.
+  struct StatementSpan {
+    double weight = 1.0;
+    int count = 0;
+  };
+
+  /// Applies rows via `apply`, re-costs affected sub-plans into `scratch`,
+  /// and returns the candidate total summed in WorkloadCost order. When
+  /// `restore` is true, the scratch layout is put back before returning;
+  /// the staging path passes false so it can capture the applied rows first.
+  template <typename ApplyFn>
+  double ScoreCore(const std::vector<int>& objects, const ApplyFn& apply,
+                   Scratch* scratch, bool restore) const;
+
+  /// Puts `scratch`'s rows for `objects` back from its saved_rows backup.
+  void RestoreScratchRows(const std::vector<int>& objects, Scratch* scratch) const;
+
+  /// Shared staging path: score without restore, capture rows/costs/total
+  /// into the staged_* fields, re-sync the staging scratch.
+  template <typename ApplyFn>
+  double DeltaCore(const std::vector<int>& objects, const ApplyFn& apply);
+
+  /// Total over the cached per-sub-plan costs, in WorkloadCost's exact
+  /// association order; `scratch` (optional) substitutes current-epoch
+  /// overrides.
+  double SumTotal(const Scratch* scratch) const;
+
+  /// Debug-build parity audit of total_ against a from-scratch §5
+  /// recomputation.
+  void AuditParity() const;
+
+  const WorkloadProfile& profile_;
+  const CostModel& cost_model_;
+
+  std::vector<FlatSubplan> flat_;             ///< flattened sub-plans
+  std::vector<StatementSpan> statements_;     ///< per-statement spans
+  std::vector<std::vector<int32_t>> object_subplans_;  ///< inverted index
+
+  Layout layout_;                    ///< currently bound layout
+  std::vector<double> subplan_cost_; ///< cached cost per flat sub-plan
+  double total_ = 0;
+  bool bound_ = false;               ///< Bind() has been called
+
+  // Staged move (Delta* -> Commit/Revert).
+  mutable Scratch staging_;
+  bool staged_valid_ = false;
+  std::vector<int> staged_objects_;
+  std::vector<double> staged_rows_;     ///< |objects| x m, row-major
+  std::vector<int32_t> staged_affected_;
+  std::vector<double> staged_costs_;    ///< parallel to staged_affected_
+  double staged_total_ = 0;
+
+  mutable std::atomic<int64_t> delta_evals_{0};
+  int64_t full_evals_ = 0;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_LAYOUT_EVALUATOR_H_

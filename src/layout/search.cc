@@ -10,7 +10,9 @@
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "graph/partition.h"
+#include "layout/evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -65,6 +67,8 @@ void MergeTelemetry(const SearchTelemetry& from, SearchTelemetry* into) {
   into->migrate_accepted += from.migrate_accepted;
   into->capacity_rejected += from.capacity_rejected;
   into->movement_rejected += from.movement_rejected;
+  into->full_evals += from.full_evals;
+  into->delta_evals += from.delta_evals;
   into->used_full_striping_fallback |= from.used_full_striping_fallback;
   into->used_incremental_migration |= from.used_incremental_migration;
   into->timed_out |= from.timed_out;
@@ -105,6 +109,43 @@ std::vector<double> FractionalUsed(const Layout& layout,
     }
   }
   return used;
+}
+
+/// The row Layout::AssignProportional(i, disks, fleet) writes, as a dense
+/// m-entry vector. The rate summation runs in the same order, so the
+/// fractions are bit-equal to applying the move to a layout copy.
+std::vector<double> ProportionalRow(const std::vector<int>& disks,
+                                    const DiskFleet& fleet, int m) {
+  double total_rate = 0;
+  for (int j : disks) total_rate += fleet.disk(j).read_mb_s;
+  std::vector<double> row(static_cast<size_t>(m), 0.0);
+  for (int j : disks) {
+    row[static_cast<size_t>(j)] = fleet.disk(j).read_mb_s / total_rate;
+  }
+  return row;
+}
+
+/// Layout::DataMovementBlocks(from, base-with-`row`-substituted-for-the-
+/// marked-objects) without materializing the candidate layout. The
+/// accumulation order matches DataMovementBlocks exactly, so the
+/// movement-budget decision is bit-identical to building the candidate.
+double MovementWithRow(const Layout& from, const Layout& base,
+                       const std::vector<bool>& in_group,
+                       const std::vector<double>& row,
+                       const std::vector<int64_t>& sizes) {
+  double moved = 0;
+  for (int i = 0; i < from.num_objects(); ++i) {
+    const bool substituted = in_group[static_cast<size_t>(i)];
+    for (int j = 0; j < from.num_disks(); ++j) {
+      const double to =
+          substituted ? row[static_cast<size_t>(j)] : base.x(i, j);
+      const double delta = to - from.x(i, j);
+      if (delta > 0) {
+        moved += delta * static_cast<double>(sizes[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return moved;
 }
 
 /// Sum of access-graph edge weights between two object sets.
@@ -325,12 +366,33 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
   const std::vector<std::vector<int>> groups =
       ObjectGroups(db_.Objects().size(), constraints);
   SearchTelemetry& telemetry = stats->telemetry;
+  const int m = layout.num_disks();
 
-  double cost = cost_model.WorkloadCost(profile, layout);
+  // The evaluator caches per-sub-plan costs of the working layout; each
+  // candidate is scored by re-costing only the sub-plans that touch the
+  // moved group. Totals are bit-identical to a full recomputation (see
+  // layout/evaluator.h), so this changes wall-clock time, never the answer.
+  LayoutEvaluator evaluator(profile, cost_model);
+  double cost = evaluator.Bind(layout);
   stats->initial_cost = cost;
   telemetry.cost_trajectory.push_back(cost);
 
   std::vector<double> used = FractionalUsed(layout, sizes);
+
+  // One candidate of one iteration: a whole group re-assigned to `disks`
+  // (proportional fill). Enumeration and winner selection are sequential
+  // and deterministic; only the scoring in between may run on the pool.
+  struct Candidate {
+    int group = 0;
+    std::vector<int> disks;
+    MoveKind kind = MoveKind::kWiden;
+  };
+  std::vector<Candidate> cands;
+  std::vector<double> costs;
+  const int parallelism = std::max(
+      1, std::min(options_.num_threads, ThreadPool::Shared().num_workers() + 1));
+  std::vector<LayoutEvaluator::Scratch> scratches;
+  std::vector<bool> in_group(db_.Objects().size(), false);
 
   for (int iter = 0; iter < options_.max_greedy_iterations; ++iter) {
     DBLAYOUT_TRACE_SPAN("search/greedy_iteration");
@@ -338,47 +400,38 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
       telemetry.timed_out = true;
       break;
     }
-    double best_cost = cost;
-    Layout best_layout;
-    std::vector<double> best_used;
-    MoveKind best_kind = MoveKind::kWiden;
-    bool found = false;
+    const Layout& base = evaluator.layout();
 
-    for (const auto& group : groups) {
-      // Candidate-granularity deadline check: the whole layout held here is
-      // valid, so stopping mid-iteration still returns a usable best-so-far
-      // (the improvement found over the groups already scanned, if any, is
-      // accepted below before the outer loop observes the expiry).
-      if (deadline.Expired()) {
-        telemetry.timed_out = true;
-        break;
-      }
-      const std::vector<int> current = layout.DisksOf(group[0]);
+    // Phase 1: enumerate this iteration's candidates, applying the cheap
+    // feasibility pre-checks (fractional capacity, movement budget). The
+    // checks replicate the accumulation order of applying the move to a
+    // layout copy, so accept/reject decisions are bit-identical to the
+    // evaluate-one-at-a-time formulation.
+    cands.clear();
+    for (int gi = 0; gi < static_cast<int>(groups.size()); ++gi) {
+      const auto& group = groups[static_cast<size_t>(gi)];
+      const std::vector<int> current = base.DisksOf(group[0]);
+      const std::vector<int> allowed = constraints.AllowedDisks(group, fleet_);
       std::vector<int> extras;
-      for (int j : constraints.AllowedDisks(group, fleet_)) {
+      for (int j : allowed) {
         if (std::find(current.begin(), current.end(), j) == current.end()) {
           extras.push_back(j);
         }
       }
+      for (int i : group) in_group[static_cast<size_t>(i)] = true;
 
       auto consider_set = [&](const std::vector<int>& disk_set, MoveKind kind) {
-        if (deadline.Expired()) {
-          telemetry.timed_out = true;
-          return;
-        }
-        Layout candidate = layout;
-        for (int i : group) candidate.AssignProportional(i, disk_set, fleet_);
-
+        const std::vector<double> row = ProportionalRow(disk_set, fleet_, m);
         // Incremental fractional capacity check.
         std::vector<double> cand_used = used;
         for (int i : group) {
           const double size = static_cast<double>(sizes[static_cast<size_t>(i)]);
-          for (int j = 0; j < layout.num_disks(); ++j) {
+          for (int j = 0; j < m; ++j) {
             cand_used[static_cast<size_t>(j)] +=
-                (candidate.x(i, j) - layout.x(i, j)) * size;
+                (row[static_cast<size_t>(j)] - base.x(i, j)) * size;
           }
         }
-        for (int j = 0; j < layout.num_disks(); ++j) {
+        for (int j = 0; j < m; ++j) {
           if (cand_used[static_cast<size_t>(j)] >
               static_cast<double>(fleet_.disk(j).capacity_blocks) *
                   options_.capacity_margin) {
@@ -388,23 +441,14 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
         }
         if (constraints.max_movement_blocks >= 0 &&
             constraints.current_layout != nullptr) {
-          const double moved = Layout::DataMovementBlocks(
-              *constraints.current_layout, candidate, sizes);
+          const double moved = MovementWithRow(*constraints.current_layout,
+                                               base, in_group, row, sizes);
           if (moved > constraints.max_movement_blocks) {
             ++telemetry.movement_rejected;
             return;
           }
         }
-
-        const double c = cost_model.WorkloadCost(profile, candidate);
-        ++ConsideredSlot(telemetry, kind);
-        if (c < best_cost - kEps) {
-          best_cost = c;
-          best_layout = std::move(candidate);
-          best_used = std::move(cand_used);
-          best_kind = kind;
-          found = true;
-        }
+        cands.push_back(Candidate{gi, disk_set, kind});
       };
       auto consider_add = [&](const std::vector<int>& add) {
         std::vector<int> wider = current;
@@ -420,7 +464,6 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
         // orderings — fastest sequential read first, and smallest write
         // penalty first (so write-hot objects can skip RAID 5 drives in a
         // single move).
-        const std::vector<int> allowed = constraints.AllowedDisks(group, fleet_);
         for (const bool write_friendly : {false, true}) {
           std::vector<int> order = allowed;
           std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
@@ -449,14 +492,78 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
           consider_set(narrower, MoveKind::kNarrow);
         }
       }
+      for (int i : group) in_group[static_cast<size_t>(i)] = false;
     }
 
-    if (!found) break;
-    layout = std::move(best_layout);
-    used = std::move(best_used);
-    cost = best_cost;
+    // Phase 2: score the candidates (delta costing). Each score lands in a
+    // fixed slot, so the parallel path computes exactly the values the
+    // sequential one would.
+    costs.assign(cands.size(), 0.0);
+    size_t scored = cands.size();
+    if (parallelism > 1 && cands.size() > 1) {
+      scratches.resize(static_cast<size_t>(parallelism));
+      for (auto& s : scratches) s = evaluator.MakeScratch();
+      ThreadPool::Shared().ParallelFor(
+          static_cast<int64_t>(cands.size()), parallelism,
+          [&](int64_t idx, int worker) {
+            const Candidate& c = cands[static_cast<size_t>(idx)];
+            costs[static_cast<size_t>(idx)] = evaluator.ScoreProportionalMove(
+                groups[static_cast<size_t>(c.group)], c.disks,
+                &scratches[static_cast<size_t>(worker)]);
+          });
+    } else {
+      scratches.resize(1);
+      scratches[0] = evaluator.MakeScratch();
+      for (size_t idx = 0; idx < cands.size(); ++idx) {
+        // Candidate-granularity deadline check: the layout held here is
+        // valid, so stopping mid-iteration still returns a usable
+        // best-so-far (the improvement found among the candidates already
+        // scored, if any, is accepted below before the outer loop observes
+        // the expiry).
+        if (deadline.Expired()) {
+          telemetry.timed_out = true;
+          scored = idx;
+          break;
+        }
+        const Candidate& c = cands[idx];
+        costs[idx] = evaluator.ScoreProportionalMove(
+            groups[static_cast<size_t>(c.group)], c.disks, &scratches[0]);
+      }
+    }
+
+    // Phase 3: fold the scores in enumeration order under the same
+    // strict-improvement-over-running-best rule the sequential formulation
+    // applies — ties resolve to the earliest candidate (group order, then
+    // widen/jump/narrow emission order) regardless of the thread count.
+    double best_cost = cost;
+    size_t best_idx = cands.size();
+    for (size_t idx = 0; idx < scored; ++idx) {
+      ++ConsideredSlot(telemetry, cands[idx].kind);
+      if (costs[idx] < best_cost - kEps) {
+        best_cost = costs[idx];
+        best_idx = idx;
+      }
+    }
+    if (best_idx == cands.size()) break;
+    const Candidate& best = cands[best_idx];
+    const auto& group = groups[static_cast<size_t>(best.group)];
+
+    // Phase 4: commit the winner through the evaluator (delta re-cost of
+    // the affected sub-plans; debug builds audit the committed total
+    // against a from-scratch recomputation).
+    const std::vector<double> row = ProportionalRow(best.disks, fleet_, m);
+    for (int i : group) {
+      const double size = static_cast<double>(sizes[static_cast<size_t>(i)]);
+      for (int j = 0; j < m; ++j) {
+        used[static_cast<size_t>(j)] +=
+            (row[static_cast<size_t>(j)] - base.x(i, j)) * size;
+      }
+    }
+    evaluator.DeltaForProportionalMove(group, best.disks);
+    evaluator.Commit();
+    cost = evaluator.TotalCost();
     ++stats->greedy_iterations;
-    ++AcceptedSlot(telemetry, best_kind);
+    ++AcceptedSlot(telemetry, best.kind);
     telemetry.cost_trajectory.push_back(cost);
     if (options_.progress_hook) {
       SearchProgress progress;
@@ -464,16 +571,19 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
       progress.iteration = stats->greedy_iterations;
       progress.best_cost = cost;
       progress.layouts_evaluated = cost_model.WorkloadEvaluations();
-      progress.accepted_move = MoveKindName(best_kind);
+      progress.accepted_move = MoveKindName(best.kind);
       options_.progress_hook(progress);
     }
-    if (options_.post_move_hook_for_test) options_.post_move_hook_for_test(layout);
+    if (options_.post_move_hook_for_test) {
+      options_.post_move_hook_for_test(evaluator.mutable_layout_for_test());
+    }
     // Debug-build audit: every accepted widening/narrowing/jump move must
     // leave the fraction matrix fully allocated and non-negative.
-    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
+    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(evaluator.layout()));
   }
   stats->cost = cost;
-  return layout;
+  telemetry.delta_evals += evaluator.delta_evaluations();
+  return evaluator.layout();
 }
 
 Result<Layout> TsGreedySearch::MigrateTowardTarget(
@@ -519,7 +629,8 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     }
   }
 
-  double cost = cost_model.WorkloadCost(profile, layout);
+  LayoutEvaluator evaluator(profile, cost_model);
+  double cost = evaluator.Bind(layout);
 
   // Candidate move units: single groups, plus pairs of groups connected in
   // the access graph — separating a co-accessed pair only pays off when
@@ -540,28 +651,43 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     }
   }
 
+  // One feasible migration step: `unit` (index into `units`) with the flat
+  // object list whose rows move to their target values. Enumeration and
+  // selection are sequential; scoring may run on the pool (fixed slots, so
+  // the accepted step is independent of the thread count).
+  struct Step {
+    size_t unit = 0;
+    std::vector<int> objects;
+    double step_moved = 1.0;  ///< blocks this step moves (>= 1 for ratios)
+  };
+  std::vector<Step> steps;
+  std::vector<double> costs;
+  const int parallelism = std::max(
+      1, std::min(options_.num_threads, ThreadPool::Shared().num_workers() + 1));
+  std::vector<LayoutEvaluator::Scratch> scratches;
+
   std::vector<bool> migrated(groups.size(), false);
   for (;;) {
     if (deadline.Expired()) {
       stats->telemetry.timed_out = true;
       break;
     }
-    double best_ratio = 0;  // cost gain per moved block
-    size_t best_unit = units.size();
-    Layout best_layout;
-    double best_cost = cost;
+    const Layout& base = evaluator.layout();
+
+    // Phase 1: enumerate the feasible steps (movement budget, rounded
+    // capacity validation), exactly as the evaluate-one-at-a-time
+    // formulation would accept or reject them.
+    steps.clear();
     for (size_t u = 0; u < units.size(); ++u) {
-      if (deadline.Expired()) {
-        stats->telemetry.timed_out = true;
-        break;
-      }
       bool all_migrated = true;
       for (size_t gi : units[u]) all_migrated = all_migrated && migrated[gi];
       if (all_migrated) continue;
-      Layout candidate = layout;
+      Layout candidate = base;
+      std::vector<int> objects;
       for (size_t gi : units[u]) {
         for (int i : groups[gi]) {
-          for (int j = 0; j < layout.num_disks(); ++j) {
+          objects.push_back(i);
+          for (int j = 0; j < base.num_disks(); ++j) {
             candidate.set_x(i, j, target.x(i, j));
           }
         }
@@ -577,22 +703,58 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
         ++stats->telemetry.capacity_rejected;
         continue;
       }
-      const double c = cost_model.WorkloadCost(profile, candidate);
-      ++stats->telemetry.migrate_considered;
       const double step_moved = std::max(
-          1.0, Layout::DataMovementBlocks(layout, candidate, sizes));
-      const double ratio = (cost - c) / step_moved;
-      if (c < cost - kEps && ratio > best_ratio) {
-        best_ratio = ratio;
-        best_unit = u;
-        best_layout = std::move(candidate);
-        best_cost = c;
+          1.0, Layout::DataMovementBlocks(base, candidate, sizes));
+      steps.push_back(Step{u, std::move(objects), step_moved});
+    }
+
+    // Phase 2: score (delta costing; only sub-plans touching the moved
+    // objects are re-costed).
+    costs.assign(steps.size(), 0.0);
+    size_t scored = steps.size();
+    if (parallelism > 1 && steps.size() > 1) {
+      scratches.resize(static_cast<size_t>(parallelism));
+      for (auto& s : scratches) s = evaluator.MakeScratch();
+      ThreadPool::Shared().ParallelFor(
+          static_cast<int64_t>(steps.size()), parallelism,
+          [&](int64_t idx, int worker) {
+            costs[static_cast<size_t>(idx)] = evaluator.ScoreRowsFromMove(
+                steps[static_cast<size_t>(idx)].objects, target,
+                &scratches[static_cast<size_t>(worker)]);
+          });
+    } else {
+      scratches.resize(1);
+      scratches[0] = evaluator.MakeScratch();
+      for (size_t idx = 0; idx < steps.size(); ++idx) {
+        if (deadline.Expired()) {
+          stats->telemetry.timed_out = true;
+          scored = idx;
+          break;
+        }
+        costs[idx] = evaluator.ScoreRowsFromMove(steps[idx].objects, target,
+                                                 &scratches[0]);
       }
     }
-    if (best_unit == units.size()) break;
-    layout = std::move(best_layout);
-    cost = best_cost;
-    for (size_t gi : units[best_unit]) migrated[gi] = true;
+
+    // Phase 3: best cost gain per moved block, strict improvement only;
+    // ties resolve to the earliest unit, matching the sequential fold.
+    double best_ratio = 0;
+    size_t best_idx = steps.size();
+    for (size_t idx = 0; idx < scored; ++idx) {
+      ++stats->telemetry.migrate_considered;
+      const double c = costs[idx];
+      const double ratio = (cost - c) / steps[idx].step_moved;
+      if (c < cost - kEps && ratio > best_ratio) {
+        best_ratio = ratio;
+        best_idx = idx;
+      }
+    }
+    if (best_idx == steps.size()) break;
+
+    evaluator.DeltaForRowsFromMove(steps[best_idx].objects, target);
+    evaluator.Commit();
+    cost = evaluator.TotalCost();
+    for (size_t gi : units[steps[best_idx].unit]) migrated[gi] = true;
     ++stats->greedy_iterations;
     ++stats->telemetry.migrate_accepted;
     stats->telemetry.cost_trajectory.push_back(cost);
@@ -606,11 +768,12 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
       options_.progress_hook(progress);
     }
     // Debug-build audit: each accepted migration step stays a valid matrix.
-    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(layout));
+    DBLAYOUT_DCHECK_OK(InvariantAuditor().AuditLayoutRows(evaluator.layout()));
   }
   stats->cost = cost;
   stats->initial_cost = cost;
-  return layout;
+  stats->telemetry.delta_evals += evaluator.delta_evaluations();
+  return evaluator.layout();
 }
 
 Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
@@ -670,6 +833,8 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
         result.telemetry.used_full_striping_fallback = true;
         result.telemetry.cost_trajectory.push_back(striped_cost);
         result.layouts_evaluated = cost_model.WorkloadEvaluations();
+        result.telemetry.full_evals =
+            result.layouts_evaluated - result.telemetry.delta_evals;
         result.timed_out = result.telemetry.timed_out;
         PublishSearchMetrics(result.telemetry);
         return result;
@@ -678,6 +843,11 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
   }
   result.layout = std::move(final_layout);
   result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  // Every evaluation of this run went through the shared cost model exactly
+  // once (delta scorings via NoteExternalWorkloadEvaluation), so the full/
+  // delta split follows from the totals.
+  result.telemetry.full_evals =
+      result.layouts_evaluated - result.telemetry.delta_evals;
   result.timed_out = result.telemetry.timed_out;
   PublishSearchMetrics(result.telemetry);
   return result;
@@ -705,6 +875,8 @@ Result<SearchResult> TsGreedySearch::RunFrom(
   DBLAYOUT_RETURN_NOT_OK(CheckConstraints(final_layout, constraints, db_, fleet_));
   result.layout = std::move(final_layout);
   result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  result.telemetry.full_evals =
+      result.layouts_evaluated - result.telemetry.delta_evals;
   result.timed_out = result.telemetry.timed_out;
   PublishSearchMetrics(result.telemetry);
   return result;
@@ -741,11 +913,20 @@ Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet
   const CostModel cost_model(fleet);
   SearchResult result;
   result.cost = std::numeric_limits<double>::infinity();
-  Layout current(static_cast<int>(db.Objects().size()), m);
   bool any_valid = false;
+
+  // Delta-costed enumeration: each DFS level re-assigns its group through
+  // the evaluator (only the sub-plans touching that group are re-costed;
+  // siblings overwrite, so no revert is needed) and a leaf reads the cached
+  // total, bit-identical to a from-scratch evaluation of the same matrix.
+  // The all-zero starting matrix is well-defined: a sub-plan with no
+  // placement on any disk costs 0 (see CostModel::SubplanCost).
+  LayoutEvaluator evaluator(profile, cost_model);
+  evaluator.Bind(Layout(static_cast<int>(db.Objects().size()), m));
 
   std::function<void(size_t)> rec = [&](size_t gi) {
     if (gi == groups.size()) {
+      const Layout& current = evaluator.layout();
       // Fractional capacity check.
       const std::vector<double> used = FractionalUsed(current, sizes);
       for (int j = 0; j < m; ++j) {
@@ -760,7 +941,7 @@ Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet
               constraints.max_movement_blocks) {
         return;
       }
-      const double c = cost_model.WorkloadCost(profile, current);
+      const double c = evaluator.TotalCost();
       if (c < result.cost) {
         result.cost = c;
         result.layout = current;
@@ -769,12 +950,16 @@ Result<SearchResult> ExhaustiveSearch(const Database& db, const DiskFleet& fleet
       return;
     }
     for (const auto& disks : group_choices[gi]) {
-      for (int i : groups[gi]) current.AssignProportional(i, disks, fleet);
+      evaluator.DeltaForProportionalMove(groups[gi], disks);
+      evaluator.Commit();
       rec(gi + 1);
     }
   };
   rec(0);
   result.layouts_evaluated = cost_model.WorkloadEvaluations();
+  result.telemetry.delta_evals = evaluator.delta_evaluations();
+  result.telemetry.full_evals =
+      result.layouts_evaluated - result.telemetry.delta_evals;
   if (!any_valid) {
     return Status::CapacityExceeded("no valid layout exists for the given fleet");
   }

@@ -65,6 +65,16 @@ struct SearchOptions {
   /// returns the starting layout. Lets callers bound re-layout planning
   /// under incident pressure (see src/resilience/evacuate.h).
   double time_budget_ms = -1.0;
+  /// Number of threads used to score the candidate moves of one greedy (or
+  /// migration) iteration, via the process-wide shared pool
+  /// (ThreadPool::Shared). Candidate enumeration and winner selection stay
+  /// sequential and each score lands in a fixed slot, so every value
+  /// produces bit-identical results to num_threads = 1 — parallelism
+  /// changes wall-clock time, never the answer. Values above the pool size
+  /// are clamped; <= 1 scores in the calling thread. With a wall-clock
+  /// budget, expiry is detected between scoring batches rather than between
+  /// single candidates, so the overrun can grow to one batch.
+  int num_threads = 1;
   /// Test-only fault injection: when set, invoked on the working layout
   /// after every accepted greedy move, *before* the debug-build invariant
   /// audit. Lets tests corrupt an intermediate state and verify that the
@@ -94,6 +104,13 @@ struct SearchTelemetry {
   /// check or the incremental movement budget.
   int64_t capacity_rejected = 0;
   int64_t movement_rejected = 0;
+  /// Evaluation mix: full workload recomputations (LayoutEvaluator::Bind,
+  /// the full-striping fallback probe, direct CostModel calls) vs
+  /// incremental delta scorings, where only the sub-plans touching the
+  /// moved group are re-costed. Filled in when the run finishes;
+  /// full_evals + delta_evals == SearchResult::layouts_evaluated.
+  int64_t full_evals = 0;
+  int64_t delta_evals = 0;
   /// Whether the final answer came from the full-striping fallback, and
   /// whether the movement budget forced incremental migration mode.
   bool used_full_striping_fallback = false;

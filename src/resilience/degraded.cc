@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 #include "layout/cost_model.h"
+#include "layout/evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -56,26 +58,53 @@ Result<ResilienceReport> EvaluateResilience(const Database& db, const DiskFleet&
   DBLAYOUT_RETURN_NOT_OK(CheckInputs(db, fleet, profile, layout));
 
   ResilienceReport report;
-  report.healthy_cost_ms = CostModel(fleet).WorkloadCost(profile, layout);
+  {
+    const CostModel healthy(fleet);
+    report.healthy_cost_ms = LayoutEvaluator(profile, healthy).Bind(layout);
+  }
 
-  double total = 0;
-  for (int j = 0; j < fleet.num_disks(); ++j) {
+  // Resolve every single-drive failure sequentially (ApplyFaultPlan can
+  // fail), then cost the independent scenarios — in parallel on the shared
+  // pool when asked to. Each scenario's cost lands in a fixed slot and the
+  // aggregation below is sequential, so the report is bit-identical for any
+  // thread count.
+  const int m = fleet.num_disks();
+  std::vector<ResolvedFaultPlan> resolved(static_cast<size_t>(m));
+  for (int j = 0; j < m; ++j) {
     FaultPlan plan;
     DriveFault fault;
     fault.drive_name = fleet.disk(j).name;
     fault.failed = true;
     plan.faults.push_back(std::move(fault));
-    DBLAYOUT_ASSIGN_OR_RETURN(ResolvedFaultPlan resolved,
+    DBLAYOUT_ASSIGN_OR_RETURN(resolved[static_cast<size_t>(j)],
                               ApplyFaultPlan(fleet, plan, options));
+  }
 
+  std::vector<double> degraded(static_cast<size_t>(m), 0.0);
+  const auto score = [&](int64_t j, int /*worker*/) {
+    // One cost model + evaluator per scenario: each scenario has its own
+    // degraded fleet, and Bind is the same full §5 recomputation
+    // CostModel::WorkloadCost performs.
+    const CostModel cm(resolved[static_cast<size_t>(j)].degraded_fleet);
+    degraded[static_cast<size_t>(j)] = LayoutEvaluator(profile, cm).Bind(layout);
+  };
+  const int parallelism = std::max(
+      1, std::min(options.num_threads, ThreadPool::Shared().num_workers() + 1));
+  if (parallelism > 1 && m > 1) {
+    ThreadPool::Shared().ParallelFor(m, parallelism, score);
+  } else {
+    for (int j = 0; j < m; ++j) score(j, 0);
+  }
+
+  double total = 0;
+  for (int j = 0; j < m; ++j) {
     FailureScenario scenario;
     scenario.drive = j;
     scenario.drive_name = fleet.disk(j).name;
     scenario.lost_objects = LostObjects(layout, fleet, j);
     scenario.lost_object_names = ObjectNames(db, scenario.lost_objects);
     scenario.survivable = scenario.lost_objects.empty();
-    scenario.degraded_cost_ms =
-        CostModel(resolved.degraded_fleet).WorkloadCost(profile, layout);
+    scenario.degraded_cost_ms = degraded[static_cast<size_t>(j)];
     DBLAYOUT_OBS_OBSERVE("resilience/degraded_cost_ms", scenario.degraded_cost_ms);
 
     total += scenario.degraded_cost_ms;
@@ -127,9 +156,14 @@ Result<FaultPlanImpact> EvaluateFaultPlanCost(const Database& db, const DiskFlee
 
   FaultPlanImpact impact;
   DBLAYOUT_ASSIGN_OR_RETURN(impact.resolved, ApplyFaultPlan(fleet, plan, options));
-  impact.healthy_cost_ms = CostModel(fleet).WorkloadCost(profile, layout);
-  impact.degraded_cost_ms =
-      CostModel(impact.resolved.degraded_fleet).WorkloadCost(profile, layout);
+  {
+    const CostModel healthy(fleet);
+    impact.healthy_cost_ms = LayoutEvaluator(profile, healthy).Bind(layout);
+  }
+  {
+    const CostModel degraded(impact.resolved.degraded_fleet);
+    impact.degraded_cost_ms = LayoutEvaluator(profile, degraded).Bind(layout);
+  }
   for (int j = 0; j < fleet.num_disks(); ++j) {
     if (!impact.resolved.failed[static_cast<size_t>(j)]) continue;
     for (int id : LostObjects(layout, fleet, j)) {

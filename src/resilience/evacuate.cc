@@ -6,6 +6,7 @@
 #include "common/strutil.h"
 #include "layout/constraints.h"
 #include "layout/cost_model.h"
+#include "layout/evaluator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -176,9 +177,12 @@ Result<EvacuationPlan> PlanEvacuation(const Database& db, const DiskFleet& fleet
   plan.timed_out = refined.timed_out;
   plan.movement_budget_blocks = constraints.max_movement_blocks;
   plan.moved_blocks = Layout::DataMovementBlocks(current, plan.target, sizes);
+  // Before/after costs via the evaluator (Bind == full recomputation,
+  // bit-identical to CostModel::WorkloadCost; one evaluator re-bound twice).
   const CostModel cost_model(fleet);
-  plan.current_cost_ms = cost_model.WorkloadCost(profile, current);
-  plan.target_cost_ms = cost_model.WorkloadCost(profile, plan.target);
+  LayoutEvaluator evaluator(profile, cost_model);
+  plan.current_cost_ms = evaluator.Bind(current);
+  plan.target_cost_ms = evaluator.Bind(plan.target);
 
   for (int i = 0; i < plan.target.num_objects(); ++i) {
     const int64_t size = sizes[static_cast<size_t>(i)];

@@ -33,6 +33,11 @@ struct ResilienceOptions {
   /// restore-from-backup path, costed at this slowdown so the scenario stays
   /// finite and comparable (lost objects are also reported explicitly).
   double lost_restore_penalty = 8.0;
+  /// Threads used to cost the independent single-drive failure scenarios of
+  /// EvaluateResilience (shared pool, fixed result slots, sequential
+  /// aggregation — the report is bit-identical for any value). <= 1 runs in
+  /// the calling thread.
+  int num_threads = 1;
 };
 
 /// Fault state of one drive, by name.

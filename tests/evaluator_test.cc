@@ -1,0 +1,388 @@
+// LayoutEvaluator + ThreadPool + parallel-search tests: delta-costing
+// parity against the CostModel oracle, staged Commit/Revert semantics, the
+// empty-placement edge case, evaluation accounting, pool correctness, and
+// thread-count determinism of the whole search.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "layout/evaluator.h"
+#include "layout/search.h"
+#include "resilience/degraded.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+/// Two co-accessed large tables and one independent table (the same micro
+/// instance the search tests use).
+Database MicroDb() {
+  Database db("micro");
+  for (const char* name : {"big_a", "big_b", "solo"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 300'000;
+    t.columns = {IntKey(std::string(name) + "_k", 300'000)};
+    Column pay;
+    pay.name = std::string(name) + "_p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 120;
+    t.columns.push_back(pay);
+    t.clustered_key = {t.columns[0].name};
+    EXPECT_TRUE(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+WorkloadProfile MicroProfile(const Database& db) {
+  Workload wl("micro");
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, big_b WHERE big_a_k = big_b_k", 5).ok());
+  EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM solo").ok());
+  EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM big_a, solo WHERE big_a_k = solo_k", 2).ok());
+  auto profile = AnalyzeWorkload(db, wl);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return std::move(profile).value();
+}
+
+ResolvedConstraints NoConstraints(const Database& db) {
+  ResolvedConstraints rc;
+  rc.required_avail.assign(db.Objects().size(), std::nullopt);
+  return rc;
+}
+
+/// A uniformly random non-empty drive subset.
+std::vector<int> RandomDiskSet(int m, Rng* rng) {
+  std::vector<int> disks(static_cast<size_t>(m));
+  std::iota(disks.begin(), disks.end(), 0);
+  rng->Shuffle(&disks);
+  disks.resize(static_cast<size_t>(rng->UniformInt(1, m)));
+  std::sort(disks.begin(), disks.end());
+  return disks;
+}
+
+TEST(EvaluatorTest, BindMatchesWorkloadCost) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 11);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+  LayoutEvaluator evaluator(profile, cm);
+
+  Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    Layout layout = RandomLayout(db, fleet, &rng).value();
+    const double bound = evaluator.Bind(layout);
+    EXPECT_EQ(bound, cm.WorkloadCost(profile, layout)) << "trial " << trial;
+    EXPECT_EQ(bound, evaluator.TotalCost());
+  }
+}
+
+TEST(EvaluatorTest, DeltaAccumulatedCostMatchesFreshRecomputation) {
+  // Property test: after any random sequence of committed moves, the
+  // delta-maintained total equals a from-scratch CostModel::WorkloadCost of
+  // the same layout. The evaluator's contract is bit-identity; the assert
+  // uses the layout-tolerance bound the satellite requires, plus exact
+  // equality, so a future drift fails loudly.
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 17);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+  const int n = static_cast<int>(db.Objects().size());
+  const int m = fleet.num_disks();
+
+  Rng rng(99);
+  for (int instance = 0; instance < 3; ++instance) {
+    LayoutEvaluator evaluator(profile, cm);
+    Layout start = RandomLayout(db, fleet, &rng).value();
+    evaluator.Bind(start);
+    for (int move = 0; move < 40; ++move) {
+      const int object = static_cast<int>(rng.UniformInt(0, n - 1));
+      const std::vector<int> disks = RandomDiskSet(m, &rng);
+      evaluator.DeltaForProportionalMove({object}, disks);
+      evaluator.Commit();
+      const double fresh = cm.WorkloadCost(profile, evaluator.layout());
+      ASSERT_NEAR(evaluator.TotalCost(), fresh,
+                  kLayoutFractionTolerance * std::max(1.0, fresh))
+          << "instance " << instance << " move " << move;
+      ASSERT_EQ(evaluator.TotalCost(), fresh)
+          << "delta total drifted from the oracle (instance " << instance
+          << ", move " << move << ")";
+    }
+  }
+}
+
+TEST(EvaluatorTest, ScoreIsPureAndMatchesMaterializedCandidate) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 23);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+  LayoutEvaluator evaluator(profile, cm);
+
+  Rng rng(7);
+  Layout start = RandomLayout(db, fleet, &rng).value();
+  const double bound = evaluator.Bind(start);
+  LayoutEvaluator::Scratch scratch = evaluator.MakeScratch();
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const int object = static_cast<int>(
+        rng.UniformInt(0, static_cast<int64_t>(db.Objects().size()) - 1));
+    const std::vector<int> disks = RandomDiskSet(fleet.num_disks(), &rng);
+    const double scored =
+        evaluator.ScoreProportionalMove({object}, disks, &scratch);
+
+    Layout candidate = start;
+    candidate.AssignProportional(object, disks, fleet);
+    EXPECT_EQ(scored, cm.WorkloadCost(profile, candidate)) << "trial " << trial;
+    // Scoring must not disturb the bound state.
+    EXPECT_EQ(evaluator.TotalCost(), bound);
+  }
+}
+
+TEST(EvaluatorTest, RevertDropsTheStagedMove) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(3);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+  LayoutEvaluator evaluator(profile, cm);
+
+  const Layout striped =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  const double bound = evaluator.Bind(striped);
+
+  const double staged = evaluator.DeltaForProportionalMove({0}, {0});
+  EXPECT_NE(staged, bound);
+  evaluator.Revert();
+  EXPECT_EQ(evaluator.TotalCost(), bound);
+  for (int j = 0; j < fleet.num_disks(); ++j) {
+    EXPECT_EQ(evaluator.layout().x(0, j), striped.x(0, j));
+  }
+  // The evaluator stays consistent after a revert: a fresh stage + commit
+  // lands on the candidate cost.
+  const double restaged = evaluator.DeltaForProportionalMove({0}, {0});
+  EXPECT_EQ(restaged, staged);
+  evaluator.Commit();
+  EXPECT_EQ(evaluator.TotalCost(), staged);
+}
+
+TEST(EvaluatorTest, EmptyPlacementCostsZeroInBothPaths) {
+  // Regression for the SubplanCost edge case: a sub-plan whose objects have
+  // no placement anywhere (all fractions <= 0) must cost exactly 0 — the
+  // min-blocks +inf sentinel may never leak into the seek term — and the
+  // evaluator must agree with the oracle on that layout.
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(3);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+
+  const Layout zero(static_cast<int>(db.Objects().size()), fleet.num_disks());
+  const double oracle = cm.WorkloadCost(profile, zero);
+  EXPECT_EQ(oracle, 0.0);
+  EXPECT_TRUE(std::isfinite(oracle));
+
+  LayoutEvaluator evaluator(profile, cm);
+  EXPECT_EQ(evaluator.Bind(zero), 0.0);
+
+  // Moving one object out of the void re-costs only its sub-plans; the
+  // others remain 0 and the total stays finite and oracle-identical.
+  evaluator.DeltaForProportionalMove({0}, {0, 1});
+  evaluator.Commit();
+  EXPECT_EQ(evaluator.TotalCost(), cm.WorkloadCost(profile, evaluator.layout()));
+}
+
+TEST(EvaluatorTest, AccountingCountsEveryEvaluationOnce) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(3);
+  WorkloadProfile profile = MicroProfile(db);
+  const CostModel cm(fleet);
+  LayoutEvaluator evaluator(profile, cm);
+
+  const int64_t before = cm.WorkloadEvaluations();
+  evaluator.Bind(Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet));
+  LayoutEvaluator::Scratch scratch = evaluator.MakeScratch();
+  evaluator.ScoreProportionalMove({0}, {0}, &scratch);
+  evaluator.DeltaForProportionalMove({1}, {1});
+  evaluator.Commit();
+
+  EXPECT_EQ(evaluator.full_evaluations(), 1);
+  EXPECT_EQ(evaluator.delta_evaluations(), 2);  // one score + one staged delta
+  // Every evaluator evaluation is also recorded in the shared cost model, so
+  // layouts_evaluated stays uniform across full and delta paths.
+  EXPECT_EQ(cm.WorkloadEvaluations() - before,
+            evaluator.full_evaluations() + evaluator.delta_evaluations());
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int64_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, 4, [&](int64_t i, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SequentialFallbackAndEdgeCases) {
+  ThreadPool pool(2);
+  int count = 0;
+  // parallelism 1 runs inline in the caller (worker id 0).
+  pool.ParallelFor(5, 1, [&](int64_t, int worker) {
+    EXPECT_EQ(worker, 0);
+    ++count;
+  });
+  EXPECT_EQ(count, 5);
+  // n = 0 is a no-op; n = 1 never pays for a helper wake-up.
+  pool.ParallelFor(0, 8, [&](int64_t, int) { FAIL() << "n=0 must not call fn"; });
+  count = 0;
+  pool.ParallelFor(1, 8, [&](int64_t, int worker) {
+    EXPECT_EQ(worker, 0);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPoolTest, BatchesAreSerializedAcrossCallers) {
+  // Two consecutive batches on the same pool must not interleave state: run
+  // a batch, then reuse the same accumulator in a second batch.
+  ThreadPool pool(4);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(1000, 5, [&](int64_t i, int) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  pool.ParallelFor(1000, 5, [&](int64_t i, int) {
+    sum.fetch_sub(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 0);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsUsableConcurrently) {
+  ThreadPool& pool = ThreadPool::Shared();
+  EXPECT_GE(pool.num_workers(), 1);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(256, 8, [&](int64_t, int) {
+    total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 256);
+}
+
+/// Runs the full search at a given thread count.
+SearchResult RunAtThreads(const Database& db, const DiskFleet& fleet,
+                          const WorkloadProfile& profile,
+                          const ResolvedConstraints& rc, int threads) {
+  SearchOptions opts;
+  opts.num_threads = threads;
+  auto result = TsGreedySearch(db, fleet, opts).Run(profile, rc);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(ParallelSearchTest, ThreadCountDoesNotChangeTheResult) {
+  // The tentpole invariant: candidate scoring fan-out must be invisible in
+  // the output — layouts, costs, trajectories, and telemetry counters are
+  // bit-identical for 1, 2, and 8 scoring threads.
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 42);
+  WorkloadProfile profile = MicroProfile(db);
+  ResolvedConstraints rc = NoConstraints(db);
+
+  const SearchResult base = RunAtThreads(db, fleet, profile, rc, 1);
+  for (int threads : {2, 8}) {
+    const SearchResult other = RunAtThreads(db, fleet, profile, rc, threads);
+    EXPECT_EQ(base.cost, other.cost) << threads << " threads";
+    EXPECT_EQ(base.greedy_iterations, other.greedy_iterations);
+    EXPECT_EQ(base.layouts_evaluated, other.layouts_evaluated);
+    EXPECT_EQ(base.telemetry.cost_trajectory, other.telemetry.cost_trajectory);
+    EXPECT_EQ(base.telemetry.widen_considered, other.telemetry.widen_considered);
+    EXPECT_EQ(base.telemetry.jump_considered, other.telemetry.jump_considered);
+    EXPECT_EQ(base.telemetry.narrow_considered,
+              other.telemetry.narrow_considered);
+    EXPECT_EQ(base.telemetry.full_evals, other.telemetry.full_evals);
+    EXPECT_EQ(base.telemetry.delta_evals, other.telemetry.delta_evals);
+    ASSERT_EQ(base.layout.num_objects(), other.layout.num_objects());
+    for (int i = 0; i < base.layout.num_objects(); ++i) {
+      for (int j = 0; j < base.layout.num_disks(); ++j) {
+        ASSERT_EQ(base.layout.x(i, j), other.layout.x(i, j))
+            << "object " << i << " disk " << j << " at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelSearchTest, EvaluationAccountingIsConsistent) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 42);
+  WorkloadProfile profile = MicroProfile(db);
+  const SearchResult r = RunAtThreads(db, fleet, profile, NoConstraints(db), 2);
+  EXPECT_GT(r.layouts_evaluated, 0);
+  EXPECT_GT(r.telemetry.delta_evals, 0);
+  EXPECT_GT(r.telemetry.full_evals, 0);
+  EXPECT_EQ(r.layouts_evaluated,
+            r.telemetry.full_evals + r.telemetry.delta_evals);
+}
+
+TEST(ParallelSearchTest, ExhaustiveMatchesGreedyCostOnMicroInstance) {
+  // The delta-costed exhaustive enumeration must report the same optimum
+  // (and stay within the search tests' quality bound) as before the
+  // evaluator rethreading.
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Uniform(3);
+  WorkloadProfile profile = MicroProfile(db);
+  ResolvedConstraints rc = NoConstraints(db);
+  auto exhaustive = ExhaustiveSearch(db, fleet, profile, rc);
+  ASSERT_TRUE(exhaustive.ok()) << exhaustive.status().ToString();
+  const CostModel cm(fleet);
+  EXPECT_EQ(exhaustive->cost, cm.WorkloadCost(profile, exhaustive->layout));
+  EXPECT_EQ(exhaustive->layouts_evaluated,
+            exhaustive->telemetry.full_evals + exhaustive->telemetry.delta_evals);
+}
+
+TEST(ParallelSearchTest, ResilienceReportIsThreadCountInvariant) {
+  Database db = MicroDb();
+  DiskFleet fleet = DiskFleet::Heterogeneous(4, 0.3, 5);
+  WorkloadProfile profile = MicroProfile(db);
+  const Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+
+  ResilienceOptions one;
+  one.num_threads = 1;
+  ResilienceOptions four;
+  four.num_threads = 4;
+  auto a = EvaluateResilience(db, fleet, profile, layout, one);
+  auto b = EvaluateResilience(db, fleet, profile, layout, four);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->healthy_cost_ms, b->healthy_cost_ms);
+  EXPECT_EQ(a->worst_degraded_cost_ms, b->worst_degraded_cost_ms);
+  EXPECT_EQ(a->mean_degraded_cost_ms, b->mean_degraded_cost_ms);
+  EXPECT_EQ(a->worst_drive, b->worst_drive);
+  ASSERT_EQ(a->scenarios.size(), b->scenarios.size());
+  for (size_t s = 0; s < a->scenarios.size(); ++s) {
+    EXPECT_EQ(a->scenarios[s].degraded_cost_ms, b->scenarios[s].degraded_cost_ms);
+  }
+}
+
+}  // namespace
+}  // namespace dblayout

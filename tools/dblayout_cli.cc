@@ -63,7 +63,7 @@ int Usage(const char* argv0) {
                "          [--metrics-out FILE] [--trace-out FILE] [--progress]\n"
                "          [--fault-plan FILE] [--resilience-report]\n"
                "          [--evacuate DRIVE] [--time-budget-ms MS]\n"
-               "          [--seed N] [--tpch [SCALE]]\n",
+               "          [--threads N] [--seed N] [--tpch [SCALE]]\n",
                argv0);
   return 2;
 }
@@ -197,6 +197,9 @@ int main(int argc, char** argv) {
   std::string fault_plan_path, evacuate_drive;
   bool resilience_report = false;
   double time_budget_ms = -1;
+  // Candidate-scoring threads; results are bit-identical for any value
+  // (see SearchOptions::num_threads), so this is purely a wall-clock knob.
+  int num_threads = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -323,6 +326,12 @@ int main(int argc, char** argv) {
       time_budget_ms = std::strtod(v, nullptr);
     } else if (arg.rfind("--time-budget-ms=", 0) == 0) {
       time_budget_ms = std::strtod(arg.c_str() + 17, nullptr);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      num_threads = std::atoi(v);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = std::atoi(arg.c_str() + 10);
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return Usage(argv[0]);
@@ -361,6 +370,7 @@ int main(int argc, char** argv) {
   }
 
   options.search.time_budget_ms = time_budget_ms;
+  options.search.num_threads = num_threads;
 
   // Telemetry: any of --metrics-out/--trace-out/--progress switches the
   // metrics registry on; --trace-out additionally starts span buffering.
@@ -523,8 +533,10 @@ int main(int argc, char** argv) {
   const char* subject_label = have_manual ? evaluate_path.c_str() : "recommended";
 
   if (resilience_report) {
+    ResilienceOptions ropts;
+    ropts.num_threads = num_threads;
     auto report = EvaluateResilience(db.value(), fleet.value(), profile.value(),
-                                     subject);
+                                     subject, ropts);
     if (!report.ok()) return fail("resilience-report", report.status());
     rec->resilience = std::make_shared<const ResilienceReport>(report.value());
     std::printf("resilience of %s layout:\n%s\n", subject_label,

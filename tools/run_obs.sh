@@ -53,6 +53,17 @@ grep -q "dblayout_search_moves_considered_widen_total" "${METRICS}" \
 grep -q "dblayout_cost_model_workload_cost_us_bucket" "${METRICS}" \
   || fail "cost-model latency histogram missing from ${METRICS}"
 
+log "metrics file carries evaluation-engine counters"
+# The search runs on LayoutEvaluator delta costing, so an advised run must
+# record delta evaluations, commits, and at least one full Bind().
+for counter in dblayout_evaluator_full_evals_total \
+               dblayout_evaluator_delta_evals_total \
+               dblayout_evaluator_commits_total \
+               dblayout_cost_model_workload_evals_total; do
+  grep -q "^${counter} [1-9]" "${METRICS}" \
+    || fail "evaluator counter ${counter} missing or zero in ${METRICS}"
+done
+
 if command -v python3 >/dev/null 2>&1; then
   log "trace file is well-formed Chrome trace JSON with seed metadata"
   python3 - "${TRACE}" <<'PY' || fail "trace JSON validation failed"
