@@ -134,7 +134,8 @@ CaseResult RunCase(const Database& db, const DiskFleet& fleet,
         for (auto& s : scratches) s = evaluator.MakeScratch();
         ThreadPool::Shared().ParallelFor(
             static_cast<int64_t>(cands.size()), parallelism,
-            [&](int64_t k, int worker) {
+            [&cands, &delta_costs, &evaluator, &scratches](int64_t k,
+                                                           int worker) {
               delta_costs[static_cast<size_t>(k)] =
                   evaluator.ScoreProportionalMove(
                       {cands[static_cast<size_t>(k)].object},

@@ -69,7 +69,9 @@ Status InvariantAuditor::AuditGraphWeights(const WeightedGraph& g) const {
       return Status::InvalidArgument(
           StrFormat("audit: node %zu has invalid weight %g", u, nw));
     }
-    for (const auto& [v, w] : g.Neighbors(u)) {
+    // Sorted order: the audit returns on the first invalid edge, so the
+    // reported (u, v) must not depend on hash layout.
+    for (const auto& [v, w] : g.SortedNeighbors(u)) {
       if (v >= g.num_nodes()) {
         return Status::InvalidArgument(StrFormat(
             "audit: edge (%zu,%zu) references a node out of range", u, v));
@@ -98,7 +100,8 @@ Status InvariantAuditor::AuditAccessGraph(const WeightedGraph& g) const {
   if (!options_.strict_coaccess_bound) return Status::OK();
   const double tol = options_.fraction_tolerance;
   for (size_t u = 0; u < g.num_nodes(); ++u) {
-    for (const auto& [v, w] : g.Neighbors(u)) {
+    // Sorted order: same first-failure determinism as AuditGraphWeights.
+    for (const auto& [v, w] : g.SortedNeighbors(u)) {
       if (u > v || w <= 0) continue;
       if (g.node_weight(u) <= 0 || g.node_weight(v) <= 0) {
         return Status::InvalidArgument(StrFormat(

@@ -14,8 +14,9 @@ namespace dblayout {
 
 /// Holds either a T or a non-OK Status. Accessing value() on an error Result
 /// aborts in debug builds; call ok() (or check status()) first.
+/// [[nodiscard]] for the same reason as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit conversion from a value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -31,7 +31,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A Status holds the outcome of an operation: OK, or an error code with a
 /// message. The OK status carries no allocation.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (the
+/// unchecked-status rule in dblayout_check is the cross-file complement).
+/// Intentional discards must say so with (void).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;

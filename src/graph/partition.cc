@@ -12,9 +12,12 @@
 namespace dblayout {
 
 double CutWeight(const WeightedGraph& g, const Partitioning& part) {
+  // Summed in sorted-neighbor order: float addition is not associative, so
+  // iterating the hash-ordered Neighbors() view would make the cut weight
+  // depend on the container's bucket layout.
   double cut = 0;
   for (size_t u = 0; u < g.num_nodes(); ++u) {
-    for (const auto& [v, w] : g.Neighbors(u)) {
+    for (const auto& [v, w] : g.SortedNeighbors(u)) {
       if (u < v && part[u] != part[v]) cut += w;
     }
   }
@@ -81,9 +84,12 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   }
   const size_t sn = roots.size();
   WeightedGraph sg(sn);
+  // Sorted-neighbor order: several (u, v) edges can collapse onto the same
+  // supernode edge, so the accumulated weight must be built in a hash-layout-
+  // independent order.
   for (size_t u = 0; u < n; ++u) {
     sg.AddNodeWeight(super_of[u], g.node_weight(u));
-    for (const auto& [v, w] : g.Neighbors(u)) {
+    for (const auto& [v, w] : g.SortedNeighbors(u)) {
       if (u < v && super_of[u] != super_of[v]) {
         sg.AddEdgeWeight(super_of[u], super_of[v], w);
       }
@@ -94,7 +100,7 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   // weight; each goes to the partition it is least connected to.
   std::vector<double> incident(sn, 0.0);
   for (size_t u = 0; u < sn; ++u) {
-    for (const auto& [v, w] : sg.Neighbors(u)) {
+    for (const auto& [v, w] : sg.SortedNeighbors(u)) {
       (void)v;
       incident[u] += w;
     }
@@ -107,9 +113,11 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
   std::vector<int> sp(sn, -1);  // supernode -> partition
   std::vector<double> part_node_weight(static_cast<size_t>(p), 0.0);
   for (size_t u : order) {
-    // connection[q] = total edge weight from u into partition q.
+    // connection[q] = total edge weight from u into partition q, summed in
+    // sorted-neighbor order so ties between partitions break identically
+    // across runs.
     std::vector<double> connection(static_cast<size_t>(p), 0.0);
-    for (const auto& [v, w] : sg.Neighbors(u)) {
+    for (const auto& [v, w] : sg.SortedNeighbors(u)) {
       if (sp[v] >= 0) connection[static_cast<size_t>(sp[v])] += w;
     }
     int best = 0;
@@ -136,7 +144,7 @@ Partitioning MaxCutPartition(const WeightedGraph& g, const PartitionOptions& opt
     bool improved = false;
     for (size_t u = 0; u < sn; ++u) {
       std::vector<double> connection(static_cast<size_t>(p), 0.0);
-      for (const auto& [v, w] : sg.Neighbors(u)) {
+      for (const auto& [v, w] : sg.SortedNeighbors(u)) {
         connection[static_cast<size_t>(sp[v])] += w;
       }
       const double cur_internal = connection[static_cast<size_t>(sp[u])];

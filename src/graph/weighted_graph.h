@@ -52,9 +52,22 @@ class WeightedGraph {
     return it == adj_[u].end() ? 0.0 : it->second;
   }
 
-  /// Neighbors of u with positive edge weight.
+  /// Neighbors of u with positive edge weight. Hash order: any consumer
+  /// that sums weights (float addition is not associative) or emits output
+  /// must use SortedNeighbors / SortedEdges instead — dblayout_check's
+  /// unordered-accumulation rule enforces this.
   const std::unordered_map<size_t, double>& Neighbors(size_t u) const {
     return adj_[u];
+  }
+
+  /// Neighbors of u as (v, weight) pairs sorted by v: the deterministic
+  /// iteration order for accumulation and rendering.
+  std::vector<std::pair<size_t, double>> SortedNeighbors(size_t u) const {
+    std::vector<std::pair<size_t, double>> out(adj_[u].begin(), adj_[u].end());
+    std::sort(out.begin(), out.end(),
+              [](const std::pair<size_t, double>& a,
+                 const std::pair<size_t, double>& b) { return a.first < b.first; });
+    return out;
   }
 
   /// Number of undirected edges.
@@ -70,6 +83,7 @@ class WeightedGraph {
   std::vector<GraphEdge> SortedEdges() const {
     std::vector<GraphEdge> edges;
     for (size_t u = 0; u < adj_.size(); ++u) {
+      // dblayout-check(unordered-accumulation): edges are fully sorted below
       for (const auto& [v, w] : adj_[u]) {
         if (u < v) edges.push_back(GraphEdge{u, v, w});
       }
@@ -80,11 +94,12 @@ class WeightedGraph {
     return edges;
   }
 
-  /// Sum of all edge weights (each undirected edge counted once).
+  /// Sum of all edge weights (each undirected edge counted once). Summed in
+  /// sorted-neighbor order so the float total is independent of hash layout.
   double TotalEdgeWeight() const {
     double total = 0;
     for (size_t u = 0; u < adj_.size(); ++u) {
-      for (const auto& [v, w] : adj_[u]) {
+      for (const auto& [v, w] : SortedNeighbors(u)) {
         if (u < v) total += w;
       }
     }

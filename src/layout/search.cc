@@ -151,9 +151,11 @@ double MovementWithRow(const Layout& from, const Layout& base,
 /// Sum of access-graph edge weights between two object sets.
 double EdgeWeightBetween(const WeightedGraph& g, const std::vector<int>& a,
                          const std::vector<int>& b) {
+  // Sorted-neighbor order keeps the float total (and thus split/merge tie
+  // breaks downstream) independent of hash layout.
   double total = 0;
   for (int u : a) {
-    for (const auto& [v, w] : g.Neighbors(static_cast<size_t>(u))) {
+    for (const auto& [v, w] : g.SortedNeighbors(static_cast<size_t>(u))) {
       if (std::find(b.begin(), b.end(), static_cast<int>(v)) != b.end()) total += w;
     }
   }
@@ -208,6 +210,7 @@ struct TsGreedySearch::Deadline {
     Deadline d;
     if (budget_ms >= 0) {
       d.active = true;
+      // dblayout-check(wall-clock): the search budget is a contractual wall-clock deadline (SearchOptions::budget_ms); which candidates get scored before it expires is deliberately time-dependent
       d.at = std::chrono::steady_clock::now() +
              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                  std::chrono::duration<double, std::milli>(budget_ms));
@@ -216,6 +219,7 @@ struct TsGreedySearch::Deadline {
   }
 
   bool Expired() const {
+    // dblayout-check(wall-clock): deadline probe for the contractual search budget; checked only at candidate granularity so a timed-out run still returns a valid best-so-far
     return active && std::chrono::steady_clock::now() >= at;
   }
 };
@@ -505,7 +509,8 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
       for (auto& s : scratches) s = evaluator.MakeScratch();
       ThreadPool::Shared().ParallelFor(
           static_cast<int64_t>(cands.size()), parallelism,
-          [&](int64_t idx, int worker) {
+          [&cands, &costs, &groups, &evaluator, &scratches](int64_t idx,
+                                                            int worker) {
             const Candidate& c = cands[static_cast<size_t>(idx)];
             costs[static_cast<size_t>(idx)] = evaluator.ScoreProportionalMove(
                 groups[static_cast<size_t>(c.group)], c.disks,
@@ -717,7 +722,8 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
       for (auto& s : scratches) s = evaluator.MakeScratch();
       ThreadPool::Shared().ParallelFor(
           static_cast<int64_t>(steps.size()), parallelism,
-          [&](int64_t idx, int worker) {
+          [&steps, &costs, &evaluator, &scratches, &target](int64_t idx,
+                                                            int worker) {
             costs[static_cast<size_t>(idx)] = evaluator.ScoreRowsFromMove(
                 steps[static_cast<size_t>(idx)].objects, target,
                 &scratches[static_cast<size_t>(worker)]);

@@ -46,12 +46,16 @@ const char* LintSeverityName(LintSeverity severity);
 /// Parses "note" / "warn" / "warning" / "error" (case-insensitive).
 Result<LintSeverity> ParseLintSeverity(const std::string& text);
 
-/// One structured finding.
+/// One structured finding. Layout-lint rules reference database objects and
+/// drives; source-level rules (src/staticcheck/) reference a file and line
+/// instead. Either set of location fields may be empty.
 struct Diagnostic {
   std::string rule_id;  ///< stable kebab-case id of the emitting rule
   LintSeverity severity = LintSeverity::kWarning;
   std::vector<std::string> objects;  ///< database objects the finding refers to
   std::vector<std::string> disks;    ///< drives the finding refers to
+  std::string file;                  ///< source file ("" if not source-level)
+  int line = 0;                      ///< 1-based source line (0 if none)
   std::string message;               ///< human-readable explanation
   std::string fix_it;                ///< suggested remediation ("" if none)
 };
@@ -180,14 +184,20 @@ class LintRunner {
 // --- Renderers (render.cc) -------------------------------------------------
 
 /// Plain-text rendering: one line per finding plus a summary tail line.
-std::string RenderLintText(const LintReport& report);
+/// Findings with a source location render as "file:line: severity: ...".
+/// `tool` names the emitting tool in the summary tail.
+std::string RenderLintText(const LintReport& report,
+                           const std::string& tool = "lint");
 
 /// Machine-readable JSON: {tool, diagnostics: [...], summary: {...}}.
-std::string RenderLintJson(const LintReport& report);
+std::string RenderLintJson(const LintReport& report,
+                           const std::string& tool = "dblayout-lint");
 
 /// SARIF 2.1.0 log: rule metadata under tool.driver.rules, one result per
-/// finding with logicalLocations for the referenced objects and drives.
-std::string RenderLintSarif(const LintReport& report);
+/// finding with logicalLocations for the referenced objects and drives and a
+/// physicalLocation for source-level findings.
+std::string RenderLintSarif(const LintReport& report,
+                            const std::string& tool = "dblayout-lint");
 
 }  // namespace dblayout
 

@@ -62,7 +62,7 @@ const char* SarifLevel(LintSeverity severity) { return LintSeverityName(severity
 
 }  // namespace
 
-std::string RenderLintText(const LintReport& report) {
+std::string RenderLintText(const LintReport& report, const std::string& tool) {
   std::string out;
   for (const Diagnostic& d : report.diagnostics) {
     std::string where;
@@ -72,20 +72,25 @@ std::string RenderLintText(const LintReport& report) {
     if (!d.disks.empty()) {
       where += StrFormat(" [drives: %s]", Join(d.disks, ", ").c_str());
     }
-    out += StrFormat("%s: %s: %s%s\n", LintSeverityName(d.severity),
+    std::string at;
+    if (!d.file.empty()) {
+      at = d.line > 0 ? StrFormat("%s:%d: ", d.file.c_str(), d.line)
+                      : StrFormat("%s: ", d.file.c_str());
+    }
+    out += StrFormat("%s%s: %s: %s%s\n", at.c_str(), LintSeverityName(d.severity),
                      d.rule_id.c_str(), d.message.c_str(), where.c_str());
     if (!d.fix_it.empty()) {
       out += StrFormat("    fix: %s\n", d.fix_it.c_str());
     }
   }
-  out += StrFormat("lint: %zu error(s), %zu warning(s), %zu note(s)\n",
+  out += StrFormat("%s: %zu error(s), %zu warning(s), %zu note(s)\n", tool.c_str(),
                    report.Count(LintSeverity::kError),
                    report.Count(LintSeverity::kWarning),
                    report.Count(LintSeverity::kNote));
   return out;
 }
 
-std::string RenderLintJson(const LintReport& report) {
+std::string RenderLintJson(const LintReport& report, const std::string& tool) {
   std::vector<std::string> entries;
   entries.reserve(report.diagnostics.size());
   for (const Diagnostic& d : report.diagnostics) {
@@ -95,12 +100,16 @@ std::string RenderLintJson(const LintReport& report) {
                    JsonString(LintSeverityName(d.severity)).c_str());
     e += ", \"objects\": " + JsonStringArray(d.objects);
     e += ", \"disks\": " + JsonStringArray(d.disks);
+    if (!d.file.empty()) {
+      e += ", \"file\": " + JsonString(d.file);
+      e += StrFormat(", \"line\": %d", d.line);
+    }
     e += ", \"message\": " + JsonString(d.message);
     if (!d.fix_it.empty()) e += ", \"fix\": " + JsonString(d.fix_it);
     e += "}";
     entries.push_back(std::move(e));
   }
-  std::string out = "{\n  \"tool\": \"dblayout-lint\",\n  \"diagnostics\": [\n";
+  std::string out = "{\n  \"tool\": " + JsonString(tool) + ",\n  \"diagnostics\": [\n";
   out += Join(entries, ",\n");
   if (!entries.empty()) out += "\n";
   out += "  ],\n";
@@ -112,7 +121,7 @@ std::string RenderLintJson(const LintReport& report) {
   return out;
 }
 
-std::string RenderLintSarif(const LintReport& report) {
+std::string RenderLintSarif(const LintReport& report, const std::string& tool) {
   std::vector<std::string> rule_entries;
   rule_entries.reserve(report.rules.size());
   for (const LintRuleInfo& r : report.rules) {
@@ -130,6 +139,12 @@ std::string RenderLintSarif(const LintReport& report) {
   results.reserve(report.diagnostics.size());
   for (const Diagnostic& d : report.diagnostics) {
     std::vector<std::string> locations;
+    if (!d.file.empty()) {
+      locations.push_back(StrFormat(
+          "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": %s}, "
+          "\"region\": {\"startLine\": %d}}}",
+          JsonString(d.file).c_str(), d.line > 0 ? d.line : 1));
+    }
     for (const std::string& o : d.objects) {
       locations.push_back(StrFormat(
           "{\"logicalLocations\": [{\"name\": %s, \"kind\": \"object\"}]}",
@@ -162,7 +177,7 @@ std::string RenderLintSarif(const LintReport& report) {
       "Schemata/sarif-schema-2.1.0.json\",\n";
   out += "  \"runs\": [\n    {\n";
   out += "      \"tool\": {\n        \"driver\": {\n";
-  out += "          \"name\": \"dblayout-lint\",\n";
+  out += "          \"name\": " + JsonString(tool) + ",\n";
   out += "          \"informationUri\": "
          "\"https://github.com/dblayout/dblayout\",\n";
   out += "          \"rules\": [\n";

@@ -1,0 +1,151 @@
+// dblayout_check: determinism & concurrency static analysis over dblayout's
+// own sources (src/ and bench/).
+//
+// The repo's headline guarantee is that evaluator/search results are
+// bit-identical to the Section 5 cost oracle at any thread count. That
+// guarantee is enforced dynamically (DCHECK parity audits, TSan CI); this
+// module enforces it *statically*, at the source level, so the classes of
+// change that silently break determinism — hash-order iteration feeding
+// ordered output or float accumulation, raw entropy/wall-clock reads, shared
+// mutable state captured by reference into thread-pool lambdas — are caught
+// at review time, before any benchmark notices.
+//
+// Architecture mirrors src/lint/ (rule registry + runner + shared
+// Diagnostic/renderers), but the input is our token-lexed C++ files
+// (cpp_lexer.h) rather than user schemas/workloads. A pre-pass harvests a
+// cross-file SymbolIndex (names declared as unordered containers, functions
+// returning them, Status/Result-returning functions); each rule then walks
+// one file's token stream against that index. Findings reuse lint's
+// Diagnostic (with file:line set) and text/JSON/SARIF renderers.
+//
+// False positives are silenced inline with
+//     // dblayout-check(<rule>): <justification>
+// on the finding's line or the line above; an empty justification does not
+// suppress. A checked-in baseline file (tools/staticcheck_baseline.txt)
+// can additionally absorb findings by (rule, file, message) so the ctest
+// gate stays zero-finding while a fix is staged.
+
+#ifndef DBLAYOUT_STATICCHECK_STATICCHECK_H_
+#define DBLAYOUT_STATICCHECK_STATICCHECK_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lint/lint.h"
+#include "staticcheck/cpp_lexer.h"
+
+namespace dblayout::staticcheck {
+
+/// One lexed source file. `path` is the repo-relative display path
+/// ("src/layout/search.cc"); rules match allowlists against it.
+struct SourceFile {
+  std::string path;
+  LexedSource lex;
+};
+
+/// Cross-file symbol knowledge harvested before rules run. Purely lexical:
+/// a name is "unordered" if any declaration in the tree says so, which is
+/// the right bias for a determinism gate (rules err toward reporting, and
+/// per-site suppressions carry the justification).
+struct SymbolIndex {
+  /// Functions whose declared return type is an unordered container
+  /// (e.g. WeightedGraph::Neighbors).
+  std::set<std::string> unordered_functions;
+  /// Variables / members declared as unordered containers.
+  std::set<std::string> unordered_values;
+  /// Variables / members declared as *ordered* containers of unordered
+  /// elements (e.g. std::vector<std::unordered_map<...>> adj_): iterating
+  /// the container is fine, iterating an indexed element is not.
+  std::set<std::string> unordered_element_values;
+  /// Functions whose declared return type is Status or Result<T>. Names that
+  /// are *also* declared somewhere with a non-Status return type (overload
+  /// sets like DiskFleet::Add vs Workload::Add) are removed by
+  /// HarvestSymbols: a token-level pass cannot resolve which overload a call
+  /// site hits, and a determinism gate must not cry wolf.
+  std::set<std::string> status_functions;
+  /// Function names declared with a definitely-not-Status builtin return
+  /// type (void, double, ...); used only to subtract ambiguous names above.
+  std::set<std::string> nonstatus_functions;
+};
+
+struct CheckOptions {
+  /// rule id -> path substrings where the rule is intentionally silent
+  /// (e.g. raw-random inside common/rng.h, the sanctioned entropy home).
+  /// Filled with the defaults documented in the README rule table.
+  std::map<std::string, std::vector<std::string>> allow_paths;
+
+  CheckOptions();
+};
+
+/// One source-level rule, mirroring lint::LintRule.
+class CheckRule {
+ public:
+  virtual ~CheckRule() = default;
+  virtual const char* id() const = 0;
+  virtual const char* summary() const = 0;
+  virtual LintSeverity severity() const = 0;
+  /// Appends findings (with file/line set) to `out`. Must be deterministic.
+  virtual void Check(const SourceFile& file, const SymbolIndex& index,
+                     std::vector<Diagnostic>* out) const = 0;
+};
+
+/// The built-in determinism/concurrency rule set (rules.cc; the README lists
+/// each rule with the guarantee it protects).
+std::vector<std::unique_ptr<CheckRule>> DefaultCheckRules();
+
+/// Harvests the SymbolIndex from every file (exposed for tests).
+SymbolIndex HarvestSymbols(const std::vector<SourceFile>& files);
+
+/// Side counts of what the run filtered out.
+struct CheckStats {
+  size_t files = 0;
+  size_t suppressed = 0;  ///< findings silenced by valid inline markers
+  size_t baselined = 0;   ///< findings absorbed by the baseline file
+};
+
+class CheckRunner {
+ public:
+  explicit CheckRunner(CheckOptions options = {});
+
+  void AddRule(std::unique_ptr<CheckRule> rule);
+
+  /// Registers an in-memory file (tests) or one read from disk.
+  void AddSource(std::string path, const std::string& content);
+  /// Adds a file (by extension .h/.cc/.cpp) or recursively walks a
+  /// directory. Files under a directory argument are recorded relative to
+  /// the directory's parent, so a run over /abs/path/src reports
+  /// "src/layout/search.cc" regardless of checkout location.
+  Status AddPath(const std::string& path);
+
+  /// Loads baseline entries (one BaselineKey per line; '#' comments and
+  /// blank lines ignored).
+  Status LoadBaseline(const std::string& path);
+
+  /// Harvests symbols, runs every rule over every file, applies allowlists,
+  /// inline suppressions, and the baseline, reports invalid/stale
+  /// suppression markers, and returns the deterministic report.
+  LintReport Run(CheckStats* stats = nullptr) const;
+
+  /// Stable identity of a finding for baseline matching: "rule|file|message"
+  /// (line numbers excluded so unrelated edits do not churn the baseline).
+  static std::string BaselineKey(const Diagnostic& d);
+
+  /// Renders a report as baseline file content.
+  static std::string RenderBaseline(const LintReport& report);
+
+  const std::vector<SourceFile>& files() const { return files_; }
+
+ private:
+  CheckOptions options_;
+  std::vector<std::unique_ptr<CheckRule>> rules_;
+  std::vector<SourceFile> files_;
+  std::set<std::string> baseline_;
+};
+
+}  // namespace dblayout::staticcheck
+
+#endif  // DBLAYOUT_STATICCHECK_STATICCHECK_H_

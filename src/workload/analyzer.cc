@@ -239,7 +239,9 @@ std::string AccessGraphToString(const WeightedGraph& g, const Database& db) {
   for (size_t u = 0; u < g.num_nodes(); ++u) {
     if (g.node_weight(u) <= 0 && g.Neighbors(u).empty()) continue;
     out += StrFormat("  %s (%.0f)\n", objects[u].name.c_str(), g.node_weight(u));
-    for (const auto& [v, w] : g.Neighbors(u)) {
+    // Sorted-neighbor order: this string lands in --explain output and test
+    // expectations, so edge lines must not follow hash order.
+    for (const auto& [v, w] : g.SortedNeighbors(u)) {
       if (u < v) {
         out += StrFormat("    -- %s : %.0f\n", objects[v].name.c_str(), w);
       }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "common/rng.h"
 #include "graph/partition.h"
 #include "graph/weighted_graph.h"
@@ -40,6 +42,58 @@ TEST(WeightedGraphTest, TotalEdgeWeightCountsEachEdgeOnce) {
   g.AddEdgeWeight(0, 1, 3);
   g.AddEdgeWeight(2, 3, 4);
   EXPECT_DOUBLE_EQ(g.TotalEdgeWeight(), 7);
+}
+
+TEST(WeightedGraphTest, SortedNeighborsIsSortedAndComplete) {
+  WeightedGraph g(6);
+  g.AddEdgeWeight(3, 1, 0.5);
+  g.AddEdgeWeight(3, 5, 1.25);
+  g.AddEdgeWeight(3, 0, 2.0);
+  g.AddEdgeWeight(3, 4, 0.75);
+  const auto nbrs = g.SortedNeighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0].first, 0u);
+  EXPECT_EQ(nbrs[1].first, 1u);
+  EXPECT_EQ(nbrs[2].first, 4u);
+  EXPECT_EQ(nbrs[3].first, 5u);
+  EXPECT_DOUBLE_EQ(nbrs[2].second, 0.75);
+}
+
+// Regression test for a hash-order float-accumulation defect found by
+// dblayout_check (unordered-accumulation): CutWeight, TotalEdgeWeight, and
+// the partitioner's connection sums used to iterate Neighbors() — an
+// unordered_map whose iteration order depends on insertion history — so two
+// logically identical graphs could disagree in the last ulp and flip
+// downstream tie-breaks. Sums must be bit-identical across build orders.
+TEST(WeightedGraphTest, AggregatesAreInsertionOrderIndependent) {
+  // Weights like 0.1 are inexact in binary, so any reordering of the
+  // additions is overwhelmingly likely to change the bits of the total.
+  const size_t n = 60;
+  std::vector<std::tuple<size_t, size_t, double>> edges;
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t v = u + 1; v < n; v += 1 + (u % 3)) {
+      edges.emplace_back(u, v, 0.1 + 0.001 * static_cast<double>(u * n + v));
+    }
+  }
+
+  WeightedGraph fwd(n);
+  for (const auto& [u, v, w] : edges) fwd.AddEdgeWeight(u, v, w);
+  WeightedGraph rev(n);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it) {
+    rev.AddEdgeWeight(std::get<0>(*it), std::get<1>(*it), std::get<2>(*it));
+  }
+
+  EXPECT_EQ(fwd.TotalEdgeWeight(), rev.TotalEdgeWeight());  // bit-identical
+
+  Partitioning part(n);
+  for (size_t u = 0; u < n; ++u) part[u] = static_cast<int>(u % 4);
+  EXPECT_EQ(CutWeight(fwd, part), CutWeight(rev, part));
+
+  // The full partitioner (greedy seeding + KL refinement accumulates
+  // connection[] sums per neighbor) must produce the same assignment.
+  PartitionOptions opts;
+  opts.num_partitions = 4;
+  EXPECT_EQ(MaxCutPartition(fwd, opts), MaxCutPartition(rev, opts));
 }
 
 TEST(PartitionTest, CutWeightBasics) {

@@ -1,0 +1,148 @@
+// dblayout_check: the determinism & concurrency static-analysis gate over
+// dblayout's own sources (see src/staticcheck/).
+//
+//   dblayout_check [options] <file-or-dir>...
+//
+//   --format text|json|sarif   output format (default text)
+//   --baseline FILE            absorb findings listed in FILE
+//   --write-baseline FILE      write the current findings as a new baseline
+//   --fail-on note|warn|error  exit 1 at/above this severity (default note:
+//                              the gate requires a completely clean tree)
+//   --list-rules               print the rule table and exit
+//   --stats                    print files/suppressed/baselined counts
+//
+// Exit codes: 0 clean, 1 findings at/above the threshold, 2 usage or I/O
+// error — same convention as dblayout_cli --lint.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "staticcheck/staticcheck.h"
+
+namespace {
+
+using dblayout::LintReport;
+using dblayout::LintRuleInfo;
+using dblayout::LintSeverity;
+using dblayout::ParseLintSeverity;
+using dblayout::Status;
+using dblayout::staticcheck::CheckRunner;
+using dblayout::staticcheck::CheckStats;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--format text|json|sarif] [--baseline FILE]\n"
+               "          [--write-baseline FILE] [--fail-on SEV] [--stats]\n"
+               "          [--list-rules] <file-or-dir>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string format = "text";
+  std::string baseline;
+  std::string write_baseline;
+  LintSeverity fail_on = LintSeverity::kNote;
+  bool list_rules = false;
+  bool stats_out = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires an argument\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--format") {
+      format = next("--format");
+    } else if (arg == "--baseline") {
+      baseline = next("--baseline");
+    } else if (arg == "--write-baseline") {
+      write_baseline = next("--write-baseline");
+    } else if (arg == "--fail-on") {
+      auto sev = ParseLintSeverity(next("--fail-on"));
+      if (!sev.ok()) {
+        std::fprintf(stderr, "%s\n", sev.status().ToString().c_str());
+        return 2;
+      }
+      fail_on = *sev;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--stats") {
+      stats_out = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "unknown --format '%s'\n", format.c_str());
+    return 2;
+  }
+
+  CheckRunner runner;
+  if (list_rules) {
+    const LintReport empty = CheckRunner().Run();
+    for (const LintRuleInfo& r : empty.rules) {
+      std::printf("%-28s %-7s %s\n", r.id.c_str(), LintSeverityName(r.severity),
+                  r.summary.c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) return Usage(argv[0]);
+
+  for (const std::string& p : paths) {
+    const Status st = runner.AddPath(p);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  if (!baseline.empty()) {
+    const Status st = runner.LoadBaseline(baseline);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  CheckStats stats;
+  const LintReport report = runner.Run(&stats);
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    if (!out) {
+      std::fprintf(stderr, "cannot write baseline %s\n", write_baseline.c_str());
+      return 2;
+    }
+    out << CheckRunner::RenderBaseline(report);
+    std::fprintf(stderr, "wrote %zu baseline entr%s to %s\n",
+                 report.diagnostics.size(),
+                 report.diagnostics.size() == 1 ? "y" : "ies",
+                 write_baseline.c_str());
+  }
+
+  if (format == "json") {
+    std::fputs(RenderLintJson(report, "dblayout-check").c_str(), stdout);
+  } else if (format == "sarif") {
+    std::fputs(RenderLintSarif(report, "dblayout-check").c_str(), stdout);
+  } else {
+    std::fputs(RenderLintText(report, "dblayout-check").c_str(), stdout);
+  }
+  if (stats_out) {
+    std::fprintf(stderr, "checked %zu files; %zu suppressed, %zu baselined\n",
+                 stats.files, stats.suppressed, stats.baselined);
+  }
+  return report.CountAtLeast(fail_on) > 0 ? 1 : 0;
+}

@@ -7,6 +7,8 @@
 #                             warning when clang-tidy is not installed)
 #   3. layout lint            (tools/run_lint.sh over examples/data and the
 #                             pathology fixtures, via the werror build's CLI)
+#   3b. dblayout_check        (determinism & concurrency rules over src/ and
+#                             bench/; zero unsuppressed findings required)
 #   4. ASan+UBSan build+ctest (DBLAYOUT_SANITIZE=address,undefined; the AUTO
 #                             dcheck policy also enables the runtime
 #                             invariant audits in this pass)
@@ -95,6 +97,13 @@ if [[ "${TIDY_ONLY}" -eq 1 ]]; then log "tidy-only: done"; exit 0; fi
 log "layout lint (tools/run_lint.sh)"
 bash "${SOURCE_DIR}/tools/run_lint.sh" \
   --cli "${BUILD_ROOT}/werror/tools/dblayout_cli" || fail "layout lint"
+
+# 3b. dblayout_check gate: the repo's own sources must carry zero
+# unsuppressed determinism/concurrency findings.
+log "dblayout_check over src/ and bench/"
+"${BUILD_ROOT}/werror/tools/dblayout_check" \
+  --baseline "${SOURCE_DIR}/tools/staticcheck_baseline.txt" --stats \
+  "${SOURCE_DIR}/src" "${SOURCE_DIR}/bench" || fail "dblayout_check findings"
 
 # 4. AddressSanitizer + UndefinedBehaviorSanitizer, with invariant audits on.
 configure_and_build asan-ubsan "-DDBLAYOUT_SANITIZE=address,undefined"
