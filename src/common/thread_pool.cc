@@ -16,10 +16,10 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -33,24 +33,42 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Batch* b = nullptr;
     int worker = 0;
+    std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return shutdown_ || (batch_ != nullptr && batch_->joined < batch_->helpers);
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && tasks_.empty() &&
+             (batch_ == nullptr || batch_->joined >= batch_->helpers)) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) return;
-      b = batch_;
-      worker = ++b->joined;  // claim a worker id under mu_; ids 1..helpers
+      // Batches take priority over queued tasks: a ParallelFor caller is
+      // actively blocked, a Submit()ter is not.
+      if (batch_ != nullptr && batch_->joined < batch_->helpers) {
+        b = batch_;
+        worker = ++b->joined;  // claim a worker id under mu_; ids 1..helpers
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++tasks_running_;
+      }
     }
-    int64_t i;
-    while ((i = b->next.fetch_add(1, std::memory_order_relaxed)) < b->n) {
-      (*b->fn)(i, worker);
+    if (b != nullptr) {
+      int64_t i;
+      while ((i = b->next.fetch_add(1, std::memory_order_relaxed)) < b->n) {
+        (*b->fn)(i, worker);
+      }
+      {
+        MutexLock lock(mu_);
+        ++b->finished;
+      }
+    } else {
+      task();
+      {
+        MutexLock lock(mu_);
+        --tasks_running_;
+      }
     }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++b->finished;
-    }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -65,17 +83,17 @@ void ThreadPool::ParallelFor(
     return;
   }
 
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   Batch b;
   b.n = n;
   b.fn = &fn;
   b.helpers = static_cast<int>(
       std::min<int64_t>(static_cast<int64_t>(p) - 1, n - 1));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     batch_ = &b;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller drains as worker 0 alongside the pool workers.
   int64_t i;
@@ -83,11 +101,51 @@ void ThreadPool::ParallelFor(
     fn(i, 0);
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&b] { return b.finished == b.joined; });
-  // Unpublish under mu_: any worker whose wait predicate fires afterwards
-  // sees batch_ == nullptr, so no late joiner can touch the dead Batch.
-  batch_ = nullptr;
+  {
+    MutexLock lock(mu_);
+    while (b.finished != b.joined) done_cv_.Wait(lock);
+    // Unpublish under mu_: any worker whose wait predicate fires afterwards
+    // sees batch_ == nullptr, so no late joiner can touch the dead Batch.
+    batch_ = nullptr;
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers to hand the task to; run it eagerly so Submit/Wait keeps
+    // its contract in the degenerate single-threaded configuration.
+    task();
+    return;
+  }
+  {
+    MutexLock lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.NotifyOne();
+}
+
+void ThreadPool::Wait() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mu_);
+      if (tasks_.empty()) {
+        // A running task may Submit follow-up work, so the queue can refill
+        // while we wait; only an empty queue with nothing in flight is done.
+        while (tasks_running_ > 0 && tasks_.empty()) done_cv_.Wait(lock);
+        if (tasks_.empty()) return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++tasks_running_;
+    }
+    task();
+    {
+      MutexLock lock(mu_);
+      --tasks_running_;
+    }
+    done_cv_.NotifyAll();
+  }
 }
 
 }  // namespace dblayout

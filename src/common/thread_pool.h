@@ -15,24 +15,36 @@
 // calls from different threads queue behind an internal run mutex rather
 // than interleaving (the library's callers fan out one search or one
 // resilience sweep at a time; nesting is a bug, not a use case).
+//
+// Submit/Wait is the asynchronous complement (groundwork for the
+// work-stealing scheduler on the ROADMAP): fire-and-forget tasks drained by
+// the pool workers, joined explicitly with Wait(). Because a submitted task
+// may run *after* the submitting scope has returned, by-reference captures
+// in a Submit lambda must outlive the matching Wait — dblayout_check's
+// capture-escape rule enforces exactly that.
+//
+// Locking discipline: all queue/batch coordination state is guarded by
+// `mu_` and annotated DBLAYOUT_GUARDED_BY so both dblayout_check's
+// lock-discipline rule and Clang's -Wthread-safety verify every access.
 
 #ifndef DBLAYOUT_COMMON_THREAD_POOL_H_
 #define DBLAYOUT_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dblayout {
 
 class ThreadPool {
  public:
   /// A pool with `num_workers` background threads (>= 0; 0 makes every
-  /// ParallelFor run inline on the caller).
+  /// ParallelFor run inline on the caller and every Submit run eagerly).
   explicit ThreadPool(int num_workers);
   ~ThreadPool();
 
@@ -55,10 +67,26 @@ class ThreadPool {
   void ParallelFor(int64_t n, int parallelism,
                    const std::function<void(int64_t index, int worker)>& fn);
 
+  /// Enqueues one independent task for asynchronous execution on the pool
+  /// workers (run inline immediately when the pool has no workers). The task
+  /// must not throw. Anything the task captures by reference must stay alive
+  /// until a Wait() call on this pool returns — enqueue-then-return-early is
+  /// the capture-lifetime hazard dblayout_check's capture-escape rule flags.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task Submit()ed so far has finished. The calling
+  /// thread helps drain the queue, so Wait() makes progress even on a
+  /// saturated pool. Tasks submitted concurrently with Wait by *other*
+  /// threads may or may not be covered; the intended pattern is
+  /// submit-many-then-wait from one owner.
+  void Wait();
+
  private:
   /// One ParallelFor invocation's shared state. `next` is the self-scheduling
-  /// cursor; `joined`/`finished` (guarded by mu_) track pool workers so the
-  /// caller can wait for the last helper to leave `fn` before returning.
+  /// cursor; `joined`/`finished` (guarded by the pool's mu_) track pool
+  /// workers so the caller can wait for the last helper to leave `fn` before
+  /// returning. (The fields cannot carry DBLAYOUT_GUARDED_BY themselves:
+  /// the guarding mutex lives in the enclosing pool, not in the batch.)
   struct Batch {
     int64_t n = 0;
     const std::function<void(int64_t, int)>* fn = nullptr;
@@ -70,12 +98,15 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::mutex run_mu_;  ///< serializes ParallelFor invocations
-  std::mutex mu_;
-  std::condition_variable work_cv_;  ///< workers wait for a batch / shutdown
-  std::condition_variable done_cv_;  ///< caller waits for helpers to finish
-  Batch* batch_ = nullptr;           ///< guarded by mu_
-  bool shutdown_ = false;            ///< guarded by mu_
+  Mutex run_mu_;  ///< serializes ParallelFor invocations
+  Mutex mu_;
+  CondVar work_cv_;  ///< workers wait for a batch, a task, or shutdown
+  CondVar done_cv_;  ///< Wait()ers / the batch caller wait for completions
+  Batch* batch_ DBLAYOUT_GUARDED_BY(mu_) = nullptr;
+  bool shutdown_ DBLAYOUT_GUARDED_BY(mu_) = false;
+  std::deque<std::function<void()>> tasks_ DBLAYOUT_GUARDED_BY(mu_);
+  int tasks_running_ DBLAYOUT_GUARDED_BY(mu_) = 0;
+  // dblayout-check(unannotated-mutex-field): written only in the constructor and joined in the destructor, strictly before/after any worker runs; never touched concurrently
   std::vector<std::thread> workers_;
 };
 

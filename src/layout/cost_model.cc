@@ -85,7 +85,7 @@ double CostModel::WorkloadCost(const WorkloadProfile& profile,
                                const Layout& layout) const {
   workload_evals_.fetch_add(1, std::memory_order_relaxed);
   const bool timed = obs::Enabled();
-  // dblayout-check(wall-clock): telemetry-only timing, gated on obs::Enabled(); the measured duration feeds histograms, never the cost value
+  // dblayout-check(determinism-taint): telemetry-only timing, gated on obs::Enabled(); the measured duration feeds histograms, never the cost value
   const auto start = timed ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point{};
   double total = 0;
@@ -95,7 +95,7 @@ double CostModel::WorkloadCost(const WorkloadProfile& profile,
   DBLAYOUT_DCHECK(std::isfinite(total) && total >= 0);
   if (timed) {
     const double us = std::chrono::duration<double, std::micro>(
-                          // dblayout-check(wall-clock): closes the telemetry-only span opened above
+                          // dblayout-check(determinism-taint): closes the telemetry-only span opened above
                           std::chrono::steady_clock::now() - start)
                           .count();
     DBLAYOUT_OBS_OBSERVE("cost_model/workload_cost_us", us);

@@ -210,7 +210,7 @@ struct TsGreedySearch::Deadline {
     Deadline d;
     if (budget_ms >= 0) {
       d.active = true;
-      // dblayout-check(wall-clock): the search budget is a contractual wall-clock deadline (SearchOptions::budget_ms); which candidates get scored before it expires is deliberately time-dependent
+      // dblayout-check(determinism-taint): the search budget is a contractual wall-clock deadline (SearchOptions::budget_ms); which candidates get scored before it expires is deliberately time-dependent
       d.at = std::chrono::steady_clock::now() +
              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                  std::chrono::duration<double, std::milli>(budget_ms));
@@ -219,7 +219,7 @@ struct TsGreedySearch::Deadline {
   }
 
   bool Expired() const {
-    // dblayout-check(wall-clock): deadline probe for the contractual search budget; checked only at candidate granularity so a timed-out run still returns a valid best-so-far
+    // dblayout-check(determinism-taint): deadline probe for the contractual search budget; checked only at candidate granularity so a timed-out run still returns a valid best-so-far
     return active && std::chrono::steady_clock::now() >= at;
   }
 };

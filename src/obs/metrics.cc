@@ -97,9 +97,13 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+MetricsRegistry::Entry& MetricsRegistry::GetEntryLocked(const std::string& name) {
+  return entries_[name];
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
+  MutexLock lock(mu_);
+  Entry& e = GetEntryLocked(name);
   if (e.info.name.empty()) {
     e.info = MetricInfo{name, help, MetricInfo::Kind::kCounter};
     e.counter = std::make_unique<Counter>();
@@ -109,8 +113,8 @@ Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string&
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
+  MutexLock lock(mu_);
+  Entry& e = GetEntryLocked(name);
   if (e.info.name.empty()) {
     e.info = MetricInfo{name, help, MetricInfo::Kind::kGauge};
     e.gauge = std::make_unique<Gauge>();
@@ -122,8 +126,8 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& hel
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
-  Entry& e = entries_[name];
+  MutexLock lock(mu_);
+  Entry& e = GetEntryLocked(name);
   if (e.info.name.empty()) {
     e.info = MetricInfo{name, help, MetricInfo::Kind::kHistogram};
     e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
@@ -133,7 +137,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   for (const auto& [name, e] : entries_) {
     const std::string pname = PrometheusName(name);
@@ -179,7 +183,7 @@ std::string MetricsRegistry::RenderPrometheus() const {
 }
 
 void MetricsRegistry::ResetForTest() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, e] : entries_) {
     (void)name;
     if (e.counter) e.counter->Reset();
@@ -189,7 +193,7 @@ void MetricsRegistry::ResetForTest() {
 }
 
 std::vector<MetricInfo> MetricsRegistry::Metrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricInfo> out;
   out.reserve(entries_.size());
   for (const auto& [name, e] : entries_) {

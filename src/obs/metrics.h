@@ -25,9 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace dblayout::obs {
 
@@ -126,8 +127,14 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  /// Looks up (default-constructing on first use) the entry for `name`.
+  /// Callers hold mu_ for the lookup *and* for however long they touch the
+  /// returned reference; the handles handed out by GetCounter & co. are the
+  /// owned pointees, which are themselves lock-free and stable.
+  Entry& GetEntryLocked(const std::string& name) DBLAYOUT_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ DBLAYOUT_GUARDED_BY(mu_);
 };
 
 }  // namespace dblayout::obs

@@ -56,7 +56,7 @@ Tracer& Tracer::Global() {
 
 void Tracer::SetEnabled(bool enabled) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (enabled) {
       epoch_ns_ = clock_ ? clock_() : SteadyNowNs();
     }
@@ -65,13 +65,13 @@ void Tracer::SetEnabled(bool enabled) {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   metadata_.clear();
 }
 
 void Tracer::SetMetadata(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   metadata_[key] = value;
 }
 
@@ -83,7 +83,7 @@ void Tracer::RecordComplete(const char* name, uint64_t start_ns, uint64_t end_ns
   ev.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   ev.tid = ThisThreadId();
   ev.depth = depth;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -91,7 +91,7 @@ uint64_t Tracer::NowNs() const {
   std::function<uint64_t()> clock;
   uint64_t epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     clock = clock_;
     epoch = epoch_ns_;
   }
@@ -100,18 +100,18 @@ uint64_t Tracer::NowNs() const {
 }
 
 void Tracer::SetClockForTest(std::function<uint64_t()> clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   clock_ = std::move(clock);
   epoch_ns_ = 0;
 }
 
 std::vector<TraceEvent> Tracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 std::string Tracer::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& ev : events_) {
@@ -141,7 +141,7 @@ std::string Tracer::Summary() const {
   std::vector<TraceEvent> events;
   std::map<std::string, std::string> metadata;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events = events_;
     metadata = metadata_;
   }

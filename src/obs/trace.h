@@ -24,10 +24,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"  // for DBLAYOUT_OBS_ENABLED and the concat helpers
 
 namespace dblayout::obs {
@@ -90,11 +90,12 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::map<std::string, std::string> metadata_;
-  std::function<uint64_t()> clock_;  ///< test override; null = steady clock
-  uint64_t epoch_ns_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ DBLAYOUT_GUARDED_BY(mu_);
+  std::map<std::string, std::string> metadata_ DBLAYOUT_GUARDED_BY(mu_);
+  /// Test override; null = steady clock.
+  std::function<uint64_t()> clock_ DBLAYOUT_GUARDED_BY(mu_);
+  uint64_t epoch_ns_ DBLAYOUT_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span. Inactive (and nearly free) when the tracer is disabled at

@@ -1,6 +1,7 @@
-// The built-in dblayout_check rule set. Every rule is a deterministic walk
-// over one file's token stream plus the cross-file SymbolIndex; DESIGN.md
-// §11 maps each rule to the determinism/concurrency guarantee it protects.
+// The token-level dblayout_check rules: deterministic walks over one file's
+// token stream plus the cross-file SymbolIndex. The scope-aware families
+// (lock discipline, capture escape, determinism taint) live in
+// rules_scoped.cc; DESIGN.md §11 maps each rule to the guarantee it protects.
 
 #include <set>
 #include <string>
@@ -170,8 +171,9 @@ class UnorderedAccumulationRule : public CheckRule {
            "or ordered output (hash order changes the result)";
   }
   LintSeverity severity() const override { return LintSeverity::kError; }
-  void Check(const SourceFile& file, const SymbolIndex& index,
+  void Check(const SourceFile& file, const CheckContext& ctx,
              std::vector<Diagnostic>* out) const override {
+    const SymbolIndex& index = ctx.index;
     for (const UnorderedLoop& loop : FindUnorderedLoops(file, index)) {
       if (!loop.accumulates) continue;
       out->push_back(MakeDiag(
@@ -196,8 +198,9 @@ class UnorderedIterationRule : public CheckRule {
            "justify order-independence or iterate a sorted view";
   }
   LintSeverity severity() const override { return LintSeverity::kWarning; }
-  void Check(const SourceFile& file, const SymbolIndex& index,
+  void Check(const SourceFile& file, const CheckContext& ctx,
              std::vector<Diagnostic>* out) const override {
+    const SymbolIndex& index = ctx.index;
     for (const UnorderedLoop& loop : FindUnorderedLoops(file, index)) {
       if (loop.accumulates) continue;  // reported by unordered-accumulation
       out->push_back(MakeDiag(
@@ -222,7 +225,7 @@ class RawRandomRule : public CheckRule {
            "dblayout::Rng";
   }
   LintSeverity severity() const override { return LintSeverity::kError; }
-  void Check(const SourceFile& file, const SymbolIndex&,
+  void Check(const SourceFile& file, const CheckContext&,
              std::vector<Diagnostic>* out) const override {
     static const std::set<std::string> kBanned = {
         "rand",          "srand",          "rand_r",       "drand48",
@@ -244,54 +247,6 @@ class RawRandomRule : public CheckRule {
   }
 };
 
-/// wall-clock: clock reads outside the obs/bench timing layers. Wall-clock
-/// values that feed decisions make results machine-dependent.
-class WallClockRule : public CheckRule {
- public:
-  const char* id() const override { return "wall-clock"; }
-  const char* summary() const override {
-    return "wall-clock reads outside obs/bench timing layers make results "
-           "machine-dependent; justify any deliberate time budget";
-  }
-  LintSeverity severity() const override { return LintSeverity::kWarning; }
-  void Check(const SourceFile& file, const SymbolIndex&,
-             std::vector<Diagnostic>* out) const override {
-    const Toks& toks = file.lex.tokens;
-    for (size_t i = 0; i < toks.size(); ++i) {
-      if (toks[i].kind != TokKind::kIdentifier) continue;
-      const std::string& name = toks[i].text;
-      const bool member = i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->"));
-      if ((name == "steady_clock" || name == "system_clock" ||
-           name == "high_resolution_clock") &&
-          i + 2 < toks.size() && toks[i + 1].is("::") && toks[i + 2].ident("now")) {
-        out->push_back(MakeDiag(
-            id(), severity(), toks[i].line,
-            StrFormat("wall-clock read 'std::chrono::%s::now()'", name.c_str()),
-            "keep timing in src/obs//bench, or suppress with the reason the "
-            "time dependence is part of the contract"));
-        continue;
-      }
-      if (member) continue;
-      const bool call = i + 1 < toks.size() && toks[i + 1].is("(");
-      if (!call) continue;
-      if (name == "gettimeofday" || name == "clock_gettime" || name == "ftime" ||
-          name == "localtime" || name == "gmtime") {
-        out->push_back(MakeDiag(id(), severity(), toks[i].line,
-                                StrFormat("wall-clock read '%s'", name.c_str()),
-                                "route timing through the obs layer"));
-        continue;
-      }
-      if (name == "time" && i + 2 < toks.size() &&
-          (toks[i + 2].is(")") || toks[i + 2].ident("nullptr") ||
-           toks[i + 2].ident("NULL") || toks[i + 2].text == "0")) {
-        out->push_back(MakeDiag(id(), severity(), toks[i].line,
-                                "wall-clock read 'time(...)'",
-                                "route timing through the obs layer"));
-      }
-    }
-  }
-};
-
 /// parallel-default-ref-capture: a `[&]` lambda handed to
 /// ThreadPool::ParallelFor/Submit captures every enclosing local by
 /// reference, hiding which shared state the workers touch. Deterministic
@@ -305,7 +260,7 @@ class ParallelCaptureRule : public CheckRule {
            "captures (no bare [&]) unless the body shows synchronization";
   }
   LintSeverity severity() const override { return LintSeverity::kWarning; }
-  void Check(const SourceFile& file, const SymbolIndex&,
+  void Check(const SourceFile& file, const CheckContext&,
              std::vector<Diagnostic>* out) const override {
     const Toks& toks = file.lex.tokens;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -333,7 +288,7 @@ class ParallelCaptureRule : public CheckRule {
         for (size_t k = brace + 1; k < body_end && k < toks.size(); ++k) {
           const Tok& t = toks[k];
           if (t.kind != TokKind::kIdentifier) continue;
-          if (t.text == "mutex" || t.text == "lock_guard" ||
+          if (t.text == "mutex" || t.text == "MutexLock" || t.text == "lock_guard" ||
               t.text == "unique_lock" || t.text == "scoped_lock" ||
               t.text == "atomic" || t.text == "load" || t.text == "store" ||
               t.text == "fetch_add" || t.text == "fetch_sub" ||
@@ -365,7 +320,7 @@ class PointerKeyRule : public CheckRule {
            "order, which varies run to run";
   }
   LintSeverity severity() const override { return LintSeverity::kError; }
-  void Check(const SourceFile& file, const SymbolIndex&,
+  void Check(const SourceFile& file, const CheckContext&,
              std::vector<Diagnostic>* out) const override {
     const Toks& toks = file.lex.tokens;
     for (size_t i = 2; i + 1 < toks.size(); ++i) {
@@ -416,7 +371,7 @@ class DcheckSideEffectRule : public CheckRule {
            "(debug-only evaluation would change release behavior)";
   }
   LintSeverity severity() const override { return LintSeverity::kError; }
-  void Check(const SourceFile& file, const SymbolIndex&,
+  void Check(const SourceFile& file, const CheckContext&,
              std::vector<Diagnostic>* out) const override {
     const Toks& toks = file.lex.tokens;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -455,8 +410,9 @@ class UncheckedStatusRule : public CheckRule {
            "propagated, or explicitly discarded with (void)";
   }
   LintSeverity severity() const override { return LintSeverity::kError; }
-  void Check(const SourceFile& file, const SymbolIndex& index,
+  void Check(const SourceFile& file, const CheckContext& ctx,
              std::vector<Diagnostic>* out) const override {
+    const SymbolIndex& index = ctx.index;
     const Toks& toks = file.lex.tokens;
     for (size_t i = 0; i + 1 < toks.size(); ++i) {
       if (toks[i].kind != TokKind::kIdentifier ||
@@ -516,7 +472,7 @@ class RawThreadRule : public CheckRule {
            "common/thread_pool bypasses the deterministic pool";
   }
   LintSeverity severity() const override { return LintSeverity::kWarning; }
-  void Check(const SourceFile& file, const SymbolIndex&,
+  void Check(const SourceFile& file, const CheckContext&,
              std::vector<Diagnostic>* out) const override {
     const Toks& toks = file.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
@@ -537,36 +493,6 @@ class RawThreadRule : public CheckRule {
   }
 };
 
-/// env-read: environment variables are invisible inputs; a library whose
-/// result depends on them cannot be reproduced from its recorded inputs.
-class EnvReadRule : public CheckRule {
- public:
-  const char* id() const override { return "env-read"; }
-  const char* summary() const override {
-    return "getenv/setenv in library code adds an unrecorded input; only "
-           "tools/ and bench/ may read the environment";
-  }
-  LintSeverity severity() const override { return LintSeverity::kWarning; }
-  void Check(const SourceFile& file, const SymbolIndex&,
-             std::vector<Diagnostic>* out) const override {
-    const Toks& toks = file.lex.tokens;
-    for (size_t i = 0; i + 1 < toks.size(); ++i) {
-      if (toks[i].kind != TokKind::kIdentifier || !toks[i + 1].is("(")) continue;
-      const std::string& name = toks[i].text;
-      if (name != "getenv" && name != "secure_getenv" && name != "setenv" &&
-          name != "putenv" && name != "unsetenv") {
-        continue;
-      }
-      if (i > 0 && (toks[i - 1].is(".") || toks[i - 1].is("->"))) continue;
-      out->push_back(MakeDiag(
-          id(), severity(), toks[i].line,
-          StrFormat("environment access '%s' in library code", name.c_str()),
-          "plumb the setting through an Options struct so runs are "
-          "reproducible from recorded inputs"));
-    }
-  }
-};
-
 }  // namespace
 
 std::vector<std::unique_ptr<CheckRule>> DefaultCheckRules() {
@@ -574,13 +500,12 @@ std::vector<std::unique_ptr<CheckRule>> DefaultCheckRules() {
   rules.push_back(std::make_unique<UnorderedAccumulationRule>());
   rules.push_back(std::make_unique<UnorderedIterationRule>());
   rules.push_back(std::make_unique<RawRandomRule>());
-  rules.push_back(std::make_unique<WallClockRule>());
   rules.push_back(std::make_unique<ParallelCaptureRule>());
   rules.push_back(std::make_unique<PointerKeyRule>());
   rules.push_back(std::make_unique<DcheckSideEffectRule>());
   rules.push_back(std::make_unique<UncheckedStatusRule>());
   rules.push_back(std::make_unique<RawThreadRule>());
-  rules.push_back(std::make_unique<EnvReadRule>());
+  for (auto& r : ScopedCheckRules()) rules.push_back(std::move(r));
   return rules;
 }
 

@@ -1,11 +1,14 @@
 #include "staticcheck/staticcheck.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "common/strutil.h"
+#include "common/thread_pool.h"
 
 namespace dblayout::staticcheck {
 
@@ -158,15 +161,31 @@ void HarvestFile(const SourceFile& f, SymbolIndex* index) {
   }
 }
 
+bool PathMatchesAny(const std::string& path,
+                    const std::vector<std::string>& fragments) {
+  for (const std::string& fragment : fragments) {
+    if (path.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 CheckOptions::CheckOptions() {
   // Sanctioned homes for otherwise-banned constructs. Kept deliberately
   // narrow; anything else needs an inline justification.
   allow_paths["raw-random"] = {"src/common/rng.h"};
-  allow_paths["wall-clock"] = {"src/obs/", "bench/"};
   allow_paths["raw-thread"] = {"src/common/thread_pool."};
-  allow_paths["env-read"] = {"tools/", "bench/"};
+
+  // Files whose clock/env/entropy reads are infrastructure, not hidden
+  // inputs: the seeded Rng, the obs timing layer, bench/tool harnesses, and
+  // dblayout_check's own --verbose timing.
+  taint_source_allow = {"src/common/rng.h", "src/obs/", "src/staticcheck/",
+                        "bench/", "tools/", "tests/"};
+  // The determinism-critical layers the paper's §5 reproduction depends on:
+  // cost model + search + advisor (layout), partitioning (graph), and the
+  // failure-costing built on them (resilience).
+  taint_entry_prefixes = {"src/layout/", "src/graph/", "src/resilience/"};
 }
 
 SymbolIndex HarvestSymbols(const std::vector<SourceFile>& files) {
@@ -179,6 +198,70 @@ SymbolIndex HarvestSymbols(const std::vector<SourceFile>& files) {
     index.status_functions.erase(name);
   }
   return index;
+}
+
+std::vector<size_t> ResolveCall(const ProgramModel& program,
+                                const CallSite& c) {
+  if (c.qualified != c.callee) {
+    auto it = program.functions_by_name.find(c.qualified);
+    if (it != program.functions_by_name.end()) return it->second;
+    return {};
+  }
+  auto it = program.functions_by_name.find(c.callee);
+  if (it != program.functions_by_name.end()) return it->second;
+  return {};
+}
+
+TaintAnalysis ComputeTaint(const ProgramModel& program,
+                           const std::vector<std::string>& source_allow,
+                           const std::vector<std::string>& entry_prefixes) {
+  TaintAnalysis ta;
+  // Carriers: functions that may hold and propagate taint. Entry-layer
+  // functions report locally; allowlisted files are sanctioned.
+  std::vector<bool> carrier(program.functions.size(), false);
+  std::deque<size_t> frontier;
+  for (size_t i = 0; i < program.functions.size(); ++i) {
+    const auto& df = program.functions[i];
+    if (PathMatchesAny(df.file, source_allow) ||
+        PathMatchesAny(df.file, entry_prefixes)) {
+      continue;
+    }
+    carrier[i] = true;
+    if (!df.def->taints.empty()) {
+      ta.tainted[i] =
+          TaintedFunction{df.def->taints[0].what, {df.def->qualified_name}};
+      frontier.push_back(i);
+    }
+  }
+  // Reverse edges: callee -> carrier callers, in deterministic index order.
+  std::map<size_t, std::vector<size_t>> callers;
+  for (size_t ci = 0; ci < program.functions.size(); ++ci) {
+    if (!carrier[ci]) continue;
+    for (const CallSite& c : program.functions[ci].def->calls) {
+      for (size_t ti : ResolveCall(program, c)) {
+        callers[ti].push_back(ci);
+      }
+    }
+  }
+  // BFS from the direct sources: paths are shortest, ties broken by the
+  // deterministic seeding/adjacency order above.
+  while (!frontier.empty()) {
+    const size_t idx = frontier.front();
+    frontier.pop_front();
+    auto it = callers.find(idx);
+    if (it == callers.end()) continue;
+    for (size_t caller : it->second) {
+      if (ta.tainted.count(caller) > 0) continue;
+      TaintedFunction tf;
+      tf.source = ta.tainted[idx].source;
+      tf.path.push_back(program.functions[caller].def->qualified_name);
+      tf.path.insert(tf.path.end(), ta.tainted[idx].path.begin(),
+                     ta.tainted[idx].path.end());
+      ta.tainted[caller] = std::move(tf);
+      frontier.push_back(caller);
+    }
+  }
+  return ta;
 }
 
 CheckRunner::CheckRunner(CheckOptions options)
@@ -273,7 +356,10 @@ std::string CheckRunner::RenderBaseline(const LintReport& report) {
       "# `// dblayout-check(<rule>): <justification>` with a reason.\n";
   std::vector<std::string> keys;
   keys.reserve(report.diagnostics.size());
-  for (const Diagnostic& d : report.diagnostics) keys.push_back(BaselineKey(d));
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.rule_id == "stale-baseline") continue;
+    keys.push_back(BaselineKey(d));
+  }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   for (const std::string& k : keys) out += k + "\n";
@@ -282,8 +368,10 @@ std::string CheckRunner::RenderBaseline(const LintReport& report) {
 
 LintReport CheckRunner::Run(CheckStats* stats) const {
   const SymbolIndex index = HarvestSymbols(files_);
-  CheckStats local;
-  local.files = files_.size();
+  const ProgramModel program = BuildProgramModel(files_);
+  const TaintAnalysis taint = ComputeTaint(program, options_.taint_source_allow,
+                                           options_.taint_entry_prefixes);
+  const CheckContext ctx{index, program, taint, options_};
 
   std::set<std::string> rule_ids;
   for (const auto& rule : rules_) rule_ids.insert(rule->id());
@@ -298,31 +386,50 @@ LintReport CheckRunner::Run(CheckStats* stats) const {
       "suppression markers must name a known rule, carry a justification, "
       "and match a finding",
       LintSeverity::kError});
+  report.rules.push_back(LintRuleInfo{
+      "stale-baseline",
+      "baseline entries must still match a finding; prune with "
+      "--prune-baseline",
+      LintSeverity::kError});
 
-  // `used` marks per file/suppression whether any finding matched it.
-  std::vector<std::vector<bool>> used(files_.size());
-  for (size_t fi = 0; fi < files_.size(); ++fi) {
-    used[fi].assign(files_[fi].lex.suppressions.size(), false);
-  }
+  // Per-file analysis is independent and side-effect free: each worker
+  // writes only its own slot, and slots merge in file order below, so the
+  // report is byte-identical at any job count.
+  struct FileResult {
+    std::vector<Diagnostic> diags;
+    std::vector<std::string> matched_baseline;
+    size_t suppressed = 0;
+    size_t baselined = 0;
+    double millis = 0;
+  };
+  std::vector<FileResult> results(files_.size());
 
-  for (size_t fi = 0; fi < files_.size(); ++fi) {
+  auto analyze = [&](size_t fi) {
+    const auto t0 = std::chrono::steady_clock::now();
     const SourceFile& f = files_[fi];
+    FileResult& r = results[fi];
+    // `used` marks per suppression whether any finding matched it.
+    std::vector<bool> used(f.lex.suppressions.size(), false);
+
+    auto absorb = [&](Diagnostic d) {
+      const std::string key = BaselineKey(d);
+      if (baseline_.count(key) > 0) {
+        ++r.baselined;
+        r.matched_baseline.push_back(key);
+        return;
+      }
+      r.diags.push_back(std::move(d));
+    };
+
     for (const auto& rule : rules_) {
       // Allowlisted paths: the rule is intentionally silent here.
       const auto allow = options_.allow_paths.find(rule->id());
-      bool allowed = false;
-      if (allow != options_.allow_paths.end()) {
-        for (const std::string& fragment : allow->second) {
-          if (f.path.find(fragment) != std::string::npos) {
-            allowed = true;
-            break;
-          }
-        }
+      if (allow != options_.allow_paths.end() &&
+          PathMatchesAny(f.path, allow->second)) {
+        continue;
       }
-      if (allowed) continue;
-
       std::vector<Diagnostic> found;
-      rule->Check(f, index, &found);
+      rule->Check(f, ctx, &found);
       for (Diagnostic& d : found) {
         d.file = f.path;
         // Inline suppression: same line or the line above, justified.
@@ -331,18 +438,14 @@ LintReport CheckRunner::Run(CheckStats* stats) const {
           const SuppressionComment& s = f.lex.suppressions[si];
           if (s.rule != d.rule_id) continue;
           if (d.line != s.line && d.line != s.line + 1) continue;
-          used[fi][si] = true;  // marker matched, even if unjustified
+          used[si] = true;  // marker matched, even if unjustified
           if (!s.justification.empty()) suppressed = true;
         }
         if (suppressed) {
-          ++local.suppressed;
+          ++r.suppressed;
           continue;
         }
-        if (baseline_.count(BaselineKey(d)) > 0) {
-          ++local.baselined;
-          continue;
-        }
-        report.diagnostics.push_back(std::move(d));
+        absorb(std::move(d));
       }
     }
     // Marker hygiene: unknown rule, missing justification, or stale.
@@ -360,19 +463,55 @@ LintReport CheckRunner::Run(CheckStats* stats) const {
             "suppression of '%s' has no justification (write "
             "`// dblayout-check(%s): <why this is safe>`)",
             s.rule.c_str(), s.rule.c_str());
-      } else if (!used[fi][si]) {
+      } else if (!used[si]) {
         d.message = StrFormat(
             "suppression of '%s' matches no finding on line %d or %d (stale marker?)",
             s.rule.c_str(), s.line, s.line + 1);
       } else {
         continue;
       }
-      if (baseline_.count(BaselineKey(d)) > 0) {
-        ++local.baselined;
-        continue;
-      }
-      report.diagnostics.push_back(std::move(d));
+      absorb(std::move(d));
     }
+    r.millis = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  };
+
+  const int jobs = std::max(1, options_.jobs);
+  if (jobs > 1 && files_.size() > 1) {
+    ThreadPool pool(jobs - 1);
+    pool.ParallelFor(static_cast<int64_t>(files_.size()), jobs,
+                     [&analyze](int64_t i, int) {
+                       analyze(static_cast<size_t>(i));
+                     });
+  } else {
+    for (size_t fi = 0; fi < files_.size(); ++fi) analyze(fi);
+  }
+
+  CheckStats local;
+  local.files = files_.size();
+  std::set<std::string> matched;
+  for (size_t fi = 0; fi < files_.size(); ++fi) {
+    FileResult& r = results[fi];
+    for (Diagnostic& d : r.diags) report.diagnostics.push_back(std::move(d));
+    local.suppressed += r.suppressed;
+    local.baselined += r.baselined;
+    matched.insert(r.matched_baseline.begin(), r.matched_baseline.end());
+    local.timings.push_back(CheckStats::FileTiming{files_[fi].path, r.millis});
+  }
+  // A baseline may only shrink: entries that absorbed nothing are errors.
+  for (const std::string& key : baseline_) {
+    if (matched.count(key) > 0) continue;
+    local.stale_baseline.push_back(key);
+    Diagnostic d;
+    d.rule_id = "stale-baseline";
+    d.severity = LintSeverity::kError;
+    d.file = "baseline";
+    d.line = 0;
+    d.message = StrFormat(
+        "baseline entry matches no finding (prune with --prune-baseline): %s",
+        key.c_str());
+    report.diagnostics.push_back(std::move(d));
   }
 
   std::sort(report.rules.begin(), report.rules.end(),

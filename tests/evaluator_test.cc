@@ -287,6 +287,61 @@ TEST(ThreadPoolTest, SharedPoolIsUsableConcurrently) {
   EXPECT_EQ(total.load(), 256);
 }
 
+TEST(ThreadPoolTest, SubmitRunsEveryTaskBeforeWaitReturns) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 200);
+  // The pool is reusable after a Wait().
+  pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 201);
+}
+
+TEST(ThreadPoolTest, SubmitRunsInlineWithZeroWorkers) {
+  // A zero-worker pool degenerates to eager inline execution, so Submit's
+  // capture-lifetime contract holds trivially.
+  ThreadPool pool(0);
+  int ran = 0;
+  pool.Submit([&ran] { ++ran; });
+  EXPECT_EQ(ran, 1);  // already ran, before Wait
+  pool.Wait();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPoolTest, WaitDrainsTasksSubmittedDuringTasks) {
+  // A task may Submit follow-up work; Wait must not return until the whole
+  // transitive set has drained.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  pool.Submit([&pool, &done] {
+    done.fetch_add(1, std::memory_order_relaxed);
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitAndParallelForCoexist) {
+  // Queued tasks and a blocking batch share the worker set; both must
+  // complete and neither may deadlock the other.
+  ThreadPool pool(3);
+  std::atomic<int> task_hits{0};
+  std::atomic<int64_t> batch_sum{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&task_hits] { task_hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.ParallelFor(500, 4, [&batch_sum](int64_t i, int) {
+    batch_sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  pool.Wait();
+  EXPECT_EQ(task_hits.load(), 50);
+  EXPECT_EQ(batch_sum.load(), 500 * 499 / 2);
+}
+
 /// Runs the full search at a given thread count.
 SearchResult RunAtThreads(const Database& db, const DiskFleet& fleet,
                           const WorkloadProfile& profile,

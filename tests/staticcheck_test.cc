@@ -1,11 +1,15 @@
 // Tests for dblayout_check (src/staticcheck/): positive + negative fixture
-// snippets per rule, suppression and baseline semantics, the cross-file
-// symbol harvest, and structural checks on the SARIF rendering — mirroring
-// the lint_test.cc conventions.
+// snippets per rule (including the scope-aware lock-discipline,
+// capture-escape and determinism-taint families), suppression and baseline
+// semantics (stale entries included), job-count invariance of the parallel
+// runner, the cross-file symbol harvest, and a golden SARIF rendering —
+// mirroring the lint_test.cc conventions.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 
 #include "staticcheck/staticcheck.h"
 
@@ -75,21 +79,21 @@ TEST(CppLexerTest, MarkerMustLeadTheComment) {
   // not a suppression; doc-comment slashes before the tag are fine.
   const LexedSource lex = LexCpp(
       "// silenced inline with `// dblayout-check(raw-random): why` markers\n"
-      "/// dblayout-check(wall-clock): doc-comment marker, still leading\n");
+      "/// dblayout-check(determinism-taint): doc marker, still leading\n");
   ASSERT_EQ(lex.suppressions.size(), 1u);
-  EXPECT_EQ(lex.suppressions[0].rule, "wall-clock");
+  EXPECT_EQ(lex.suppressions[0].rule, "determinism-taint");
   EXPECT_EQ(lex.suppressions[0].line, 2);
 }
 
 TEST(CppLexerTest, SuppressionMarkersParsed) {
   const LexedSource lex = LexCpp(
       "int x;  // dblayout-check(raw-random): seeded upstream\n"
-      "// dblayout-check(wall-clock):\n");
+      "// dblayout-check(determinism-taint):\n");
   ASSERT_EQ(lex.suppressions.size(), 2u);
   EXPECT_EQ(lex.suppressions[0].rule, "raw-random");
   EXPECT_EQ(lex.suppressions[0].justification, "seeded upstream");
   EXPECT_EQ(lex.suppressions[0].line, 1);
-  EXPECT_EQ(lex.suppressions[1].rule, "wall-clock");
+  EXPECT_EQ(lex.suppressions[1].rule, "determinism-taint");
   EXPECT_TRUE(lex.suppressions[1].justification.empty());
 }
 
@@ -250,36 +254,95 @@ TEST(StaticCheckTest, RawRandomQuietOnSeededRngUse) {
   EXPECT_TRUE(ById(report, "raw-random").empty());
 }
 
-// --- wall-clock ------------------------------------------------------------
+// --- determinism-taint -----------------------------------------------------
 
-TEST(StaticCheckTest, WallClockFiresOnSteadyClockNow) {
-  const LintReport report = Check(
-      "src/x.cc", "auto t0 = std::chrono::steady_clock::now();\n");
-  const auto diags = ById(report, "wall-clock");
+TEST(DeterminismTaintTest, FiresOnDirectClockReadInEntryLayer) {
+  const LintReport report = Check("src/layout/x.cc",
+                                  "double Budget() {\n"
+                                  "  auto t0 = std::chrono::steady_clock::now();\n"
+                                  "  return 0;\n"
+                                  "}\n");
+  const auto diags = ById(report, "determinism-taint");
   ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(diags[0].line, 2);
   EXPECT_NE(diags[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("Budget"), std::string::npos);
 }
 
-TEST(StaticCheckTest, WallClockFiresOnTimeNullptr) {
-  const LintReport report = Check("src/x.cc", "srand(time(nullptr));\n");
-  EXPECT_EQ(ById(report, "wall-clock").size(), 1u);
-  EXPECT_EQ(ById(report, "raw-random").size(), 1u);  // srand too
+TEST(DeterminismTaintTest, FiresOnEnvReadInEntryLayer) {
+  const LintReport report = Check("src/graph/p.cc",
+                                  "void Tune() {\n"
+                                  "  const char* v = getenv(\"DBLAYOUT_MODE\");\n"
+                                  "}\n");
+  const auto diags = ById(report, "determinism-taint");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("getenv"), std::string::npos);
 }
 
-TEST(StaticCheckTest, WallClockAllowedInObsAndBench) {
-  EXPECT_TRUE(ById(Check("src/obs/trace.cc",
-                         "auto t = std::chrono::steady_clock::now();\n"),
-                   "wall-clock")
-                  .empty());
-  EXPECT_TRUE(ById(Check("bench/bench_x.cpp",
-                         "auto t = std::chrono::steady_clock::now();\n"),
-                   "wall-clock")
-                  .empty());
+TEST(DeterminismTaintTest, PropagatesThroughCallGraph) {
+  // The clock read lives two hops away in a carrier file; the finding lands
+  // at the entry-layer call site and names the full path.
+  CheckRunner runner;
+  runner.AddSource("src/common/timeutil.cc",
+                   "int64_t NowNs() {\n"
+                   "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+                   "}\n"
+                   "int64_t Stamp() {\n"
+                   "  return NowNs();\n"
+                   "}\n");
+  runner.AddSource("src/layout/cost.cc",
+                   "double Cost() {\n"
+                   "  return Stamp() * 1.0;\n"
+                   "}\n");
+  const auto diags = ById(runner.Run(), "determinism-taint");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/layout/cost.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("'Stamp'"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("steady_clock"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("Stamp -> NowNs"), std::string::npos);
 }
 
-TEST(StaticCheckTest, WallClockQuietOnMemberNamedTime) {
-  const LintReport report = Check("src/x.cc", "double t = stats.time();\n");
-  EXPECT_TRUE(ById(report, "wall-clock").empty());
+TEST(DeterminismTaintTest, ResolvesQualifiedCallsThroughRecursion) {
+  // Mutually recursive carriers must not hang the propagation, and the
+  // qualified call `Clock::Read()` must resolve to the right definition.
+  CheckRunner runner;
+  runner.AddSource("src/common/clock.cc",
+                   "int64_t Clock::Read() {\n"
+                   "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+                   "}\n"
+                   "int64_t A() { return B(); }\n"
+                   "int64_t B() { return A() + Clock::Read(); }\n");
+  runner.AddSource("src/resilience/f.cc",
+                   "double Impact() { return A() * 2.0; }\n");
+  const auto diags = ById(runner.Run(), "determinism-taint");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/resilience/f.cc");
+  EXPECT_NE(diags[0].message.find("system_clock"), std::string::npos);
+}
+
+TEST(DeterminismTaintTest, ObsLayerReadsAreNotSources) {
+  // The obs timing layer owns its clock; calling into it from the cost
+  // model is sanctioned infrastructure, not hidden input.
+  CheckRunner runner;
+  runner.AddSource("src/obs/trace.cc",
+                   "int64_t SteadyNowNs() {\n"
+                   "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+                   "}\n");
+  runner.AddSource("src/layout/cost.cc",
+                   "void Record() { SteadyNowNs(); }\n");
+  EXPECT_TRUE(ById(runner.Run(), "determinism-taint").empty());
+}
+
+TEST(DeterminismTaintTest, QuietOutsideEntryLayers) {
+  // A clock read in src/io/ taints the function, but with no entry-layer
+  // caller there is nothing to report.
+  const LintReport report = Check("src/io/w.cc",
+                                  "void Touch() {\n"
+                                  "  auto t = std::chrono::steady_clock::now();\n"
+                                  "}\n");
+  EXPECT_TRUE(ById(report, "determinism-taint").empty());
 }
 
 // --- parallel-default-ref-capture ------------------------------------------
@@ -403,20 +466,6 @@ TEST(StaticCheckTest, RawThreadAllowedInThreadPool) {
   EXPECT_TRUE(ById(report, "raw-thread").empty());
 }
 
-// --- env-read --------------------------------------------------------------
-
-TEST(StaticCheckTest, EnvReadFiresInLibraryCode) {
-  const LintReport report =
-      Check("src/x.cc", "const char* v = std::getenv(\"DBLAYOUT_MODE\");\n");
-  EXPECT_EQ(ById(report, "env-read").size(), 1u);
-}
-
-TEST(StaticCheckTest, EnvReadAllowedInTools) {
-  const LintReport report =
-      Check("tools/dblayout_cli.cc", "const char* v = std::getenv(\"HOME\");\n");
-  EXPECT_TRUE(ById(report, "env-read").empty());
-}
-
 // --- Suppressions ----------------------------------------------------------
 
 TEST(SuppressionTest, JustifiedMarkerSuppressesSameLine) {
@@ -466,10 +515,15 @@ TEST(SuppressionTest, StaleMarkerReported) {
 
 TEST(SuppressionTest, MarkerOnlySuppressesItsOwnRule) {
   const LintReport report = Check(
-      "src/x.cc",
-      "srand(time(nullptr));  // dblayout-check(raw-random): fixture\n");
+      "src/layout/x.cc",
+      "void F() {\n"
+      "  srand(time(nullptr));  // dblayout-check(raw-random): fixture\n"
+      "}\n");
   EXPECT_TRUE(ById(report, "raw-random").empty());
-  EXPECT_EQ(ById(report, "wall-clock").size(), 1u);  // not suppressed
+  // Both nondeterministic reads (the srand() entropy sink and the
+  // time(nullptr) clock read) are determinism-taint findings in an
+  // entry-layer file; the raw-random marker must not absorb either.
+  EXPECT_EQ(ById(report, "determinism-taint").size(), 2u);
 }
 
 // --- Baseline --------------------------------------------------------------
@@ -525,6 +579,281 @@ TEST(BaselineTest, BaselineDoesNotAbsorbNewFindings) {
   EXPECT_NE(diags[0].message.find("random_device"), std::string::npos);
 }
 
+// --- guarded-by-violation --------------------------------------------------
+
+TEST(GuardedByTest, FiresOnUnlockedFieldAccess) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Registry {\n"
+                                  " public:\n"
+                                  "  void Add(int v) { items_.push_back(v); }\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                                  "};\n");
+  const auto diags = ById(report, "guarded-by-violation");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("items_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(GuardedByTest, QuietWhenMutexLockInScope) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Registry {\n"
+                                  " public:\n"
+                                  "  void Add(int v) {\n"
+                                  "    MutexLock lock(mu_);\n"
+                                  "    items_.push_back(v);\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                                  "};\n");
+  EXPECT_TRUE(ById(report, "guarded-by-violation").empty());
+}
+
+TEST(GuardedByTest, LockScopeEndsAtItsBlock) {
+  // The MutexLock lives in an inner block; the access after the block runs
+  // unlocked and must be flagged.
+  const LintReport report = Check("src/x.cc",
+                                  "class Registry {\n"
+                                  " public:\n"
+                                  "  void Flush() {\n"
+                                  "    { MutexLock lock(mu_); }\n"
+                                  "    items_.clear();\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                                  "};\n");
+  const auto diags = ById(report, "guarded-by-violation");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(GuardedByTest, OutOfLineDefinitionInheritsRequires) {
+  // DBLAYOUT_REQUIRES lives on the in-class declaration; the out-of-line
+  // definition in the .cc must inherit it across files.
+  CheckRunner runner;
+  runner.AddSource("src/r.h",
+                   "class Registry {\n"
+                   " public:\n"
+                   "  void AddLocked(int v) DBLAYOUT_REQUIRES(mu_);\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                   "};\n");
+  runner.AddSource("src/r.cc",
+                   "void Registry::AddLocked(int v) {\n"
+                   "  items_.push_back(v);\n"
+                   "}\n");
+  EXPECT_TRUE(ById(runner.Run(), "guarded-by-violation").empty());
+}
+
+TEST(GuardedByTest, ConstructorAndDestructorExempt) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Registry {\n"
+                                  " public:\n"
+                                  "  Registry() { items_.reserve(8); }\n"
+                                  "  ~Registry() { items_.clear(); }\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                                  "};\n");
+  EXPECT_TRUE(ById(report, "guarded-by-violation").empty());
+}
+
+TEST(GuardedByTest, OtherObjectAccessSkipped) {
+  // `o.items_` is guarded by o's mutex, not ours; cross-object discipline is
+  // the clang -Wthread-safety CI leg's job.
+  const LintReport report = Check("src/x.cc",
+                                  "class Registry {\n"
+                                  " public:\n"
+                                  "  void CopyFrom(const Registry& o) {\n"
+                                  "    MutexLock lock(mu_);\n"
+                                  "    items_ = o.items_;\n"
+                                  "  }\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                                  "};\n");
+  EXPECT_TRUE(ById(report, "guarded-by-violation").empty());
+}
+
+// --- unannotated-mutex-field -----------------------------------------------
+
+TEST(UnannotatedFieldTest, FiresOnBareFieldInMutexHoldingClass) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Pool {\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  int count_ = 0;\n"
+                                  "};\n");
+  const auto diags = ById(report, "unannotated-mutex-field");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("count_"), std::string::npos);
+}
+
+TEST(UnannotatedFieldTest, QuietOnAnnotatedAtomicConstAndPrimitives) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Pool {\n"
+                                  " private:\n"
+                                  "  Mutex mu_;\n"
+                                  "  CondVar cv_;\n"
+                                  "  std::atomic<int> hits_{0};\n"
+                                  "  const std::string name_;\n"
+                                  "  int count_ DBLAYOUT_GUARDED_BY(mu_) = 0;\n"
+                                  "};\n");
+  EXPECT_TRUE(ById(report, "unannotated-mutex-field").empty());
+}
+
+TEST(UnannotatedFieldTest, QuietWithoutAMutexMember) {
+  const LintReport report = Check("src/x.cc",
+                                  "class Plain {\n"
+                                  " private:\n"
+                                  "  int count_ = 0;\n"
+                                  "};\n");
+  EXPECT_TRUE(ById(report, "unannotated-mutex-field").empty());
+}
+
+// --- capture-escape --------------------------------------------------------
+
+TEST(CaptureEscapeTest, FiresOnRefCaptureOfDyingLocal) {
+  const LintReport report = Check("src/x.cc",
+                                  "void F(ThreadPool& pool) {\n"
+                                  "  {\n"
+                                  "    int local = 1;\n"
+                                  "    pool.Submit([&local] { Use(local); });\n"
+                                  "  }\n"
+                                  "  pool.Wait();\n"
+                                  "}\n");
+  const auto diags = ById(report, "capture-escape");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("local"), std::string::npos);
+}
+
+TEST(CaptureEscapeTest, QuietWhenWaitInsideScope) {
+  const LintReport report = Check("src/x.cc",
+                                  "void F(ThreadPool& pool) {\n"
+                                  "  {\n"
+                                  "    int local = 1;\n"
+                                  "    pool.Submit([&local] { Use(local); });\n"
+                                  "    pool.Wait();\n"
+                                  "  }\n"
+                                  "}\n");
+  EXPECT_TRUE(ById(report, "capture-escape").empty());
+}
+
+TEST(CaptureEscapeTest, QuietOnParameterCapture) {
+  // Parameters have function lifetime; only block-scoped locals can die
+  // under the task.
+  const LintReport report = Check("src/x.cc",
+                                  "void F(ThreadPool& pool, int n) {\n"
+                                  "  pool.Submit([&n] { Use(n); });\n"
+                                  "  pool.Wait();\n"
+                                  "}\n");
+  EXPECT_TRUE(ById(report, "capture-escape").empty());
+}
+
+TEST(CaptureEscapeTest, DefaultRefCaptureNeedsWaitBeforeReturn) {
+  const LintReport no_wait = Check("src/x.cc",
+                                   "void F(ThreadPool& pool) {\n"
+                                   "  int x = 0;\n"
+                                   "  pool.Submit([&] { Use(x); });\n"
+                                   "}\n");
+  ASSERT_EQ(ById(no_wait, "capture-escape").size(), 1u);
+  const LintReport with_wait = Check("src/x.cc",
+                                     "void F(ThreadPool& pool) {\n"
+                                     "  int x = 0;\n"
+                                     "  pool.Submit([&] { Use(x); });\n"
+                                     "  pool.Wait();\n"
+                                     "}\n");
+  EXPECT_TRUE(ById(with_wait, "capture-escape").empty());
+}
+
+TEST(CaptureEscapeTest, ShadowedLocalResolvesToInnermostScope) {
+  // The inner `local` shadows the outer one; its scope ends with the inner
+  // block, and the Wait() out there only covers the outer declaration.
+  const LintReport report = Check("src/x.cc",
+                                  "void F(ThreadPool& pool) {\n"
+                                  "  int local = 0;\n"
+                                  "  {\n"
+                                  "    int local = 1;\n"
+                                  "    pool.Submit([&local] { Use(local); });\n"
+                                  "  }\n"
+                                  "  pool.Wait();\n"
+                                  "}\n");
+  EXPECT_EQ(ById(report, "capture-escape").size(), 1u);
+}
+
+// --- Parallel runner -------------------------------------------------------
+
+TEST(ParallelRunTest, ReportByteIdenticalAcrossJobCounts) {
+  const char* kFixtures[][2] = {
+      {"src/a.cc", "int a = rand();\n"},
+      {"src/b.cc", "std::set<Node*> visited_;\n"},
+      {"src/layout/c.cc",
+       "void F() { auto t = std::chrono::steady_clock::now(); }\n"},
+      {"src/d.cc", "std::unordered_set<int> s_;\n"
+                   "bool Any() {\n"
+                   "  for (int v : s_) { if (v) return true; }\n"
+                   "  return false;\n"
+                   "}\n"},
+      {"src/e.cc", "DBLAYOUT_DCHECK(++calls < limit);\n"},
+      {"src/f.cc", "int clean = 0;\n"},
+  };
+  auto run = [&](int jobs, CheckStats* stats) {
+    CheckOptions options;
+    options.jobs = jobs;
+    CheckRunner runner(options);
+    for (const auto& f : kFixtures) runner.AddSource(f[0], f[1]);
+    return runner.Run(stats);
+  };
+  CheckStats s1, s4;
+  const std::string text1 = RenderLintText(run(1, &s1), "dblayout-check");
+  const std::string text4 = RenderLintText(run(4, &s4), "dblayout-check");
+  EXPECT_EQ(text1, text4);
+  EXPECT_EQ(s1.files, s4.files);
+  EXPECT_EQ(s1.suppressed, s4.suppressed);
+  EXPECT_EQ(s1.baselined, s4.baselined);
+  ASSERT_EQ(s1.timings.size(), 6u);  // file order, both runs
+  for (size_t i = 0; i < s1.timings.size(); ++i) {
+    EXPECT_EQ(s1.timings[i].path, s4.timings[i].path);
+  }
+}
+
+// --- Stale baseline --------------------------------------------------------
+
+TEST(BaselineTest, StaleEntriesReportedAsErrors) {
+  const std::string path = ::testing::TempDir() + "/staticcheck_stale.txt";
+  {
+    std::ofstream out(path);
+    out << "raw-random|src/x.cc|raw entropy source 'rand' bypasses the seeded Rng\n";
+    out << "raw-random|src/gone.cc|raw entropy source 'rand' bypasses the seeded Rng\n";
+  }
+  CheckRunner runner;
+  runner.AddSource("src/x.cc", "int a = rand();\n");
+  ASSERT_TRUE(runner.LoadBaseline(path).ok());
+  CheckStats stats;
+  const LintReport report = runner.Run(&stats);
+  EXPECT_TRUE(ById(report, "raw-random").empty());  // live entry absorbs
+  const auto stale = ById(report, "stale-baseline");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].severity, LintSeverity::kError);
+  EXPECT_NE(stale[0].message.find("src/gone.cc"), std::string::npos);
+  ASSERT_EQ(stats.stale_baseline.size(), 1u);
+  EXPECT_NE(stats.stale_baseline[0].find("src/gone.cc"), std::string::npos);
+  // The stale report keeps the exit nonzero (the staticcheck_clean gate),
+  // and RenderBaseline refuses to absorb its own staleness.
+  EXPECT_GT(report.CountAtLeast(LintSeverity::kError), 0u);
+  EXPECT_EQ(CheckRunner::RenderBaseline(report).find("stale-baseline"),
+            std::string::npos);
+}
+
 // --- Report plumbing & renderers -------------------------------------------
 
 TEST(ReportTest, DiagnosticsSortedAndRulesListed) {
@@ -539,7 +868,7 @@ TEST(ReportTest, DiagnosticsSortedAndRulesListed) {
   // Errors (raw-random) sort before warnings (unordered-iteration-order).
   EXPECT_EQ(report.diagnostics[0].rule_id, "raw-random");
   // Rule metadata present and id-sorted, including the meta rule.
-  ASSERT_EQ(report.rules.size(), 11u);
+  ASSERT_EQ(report.rules.size(), 14u);
   for (size_t i = 1; i < report.rules.size(); ++i) {
     EXPECT_LT(report.rules[i - 1].id, report.rules[i].id);
   }
@@ -572,6 +901,65 @@ TEST(ReportTest, JsonRenderingCarriesFileAndLine) {
   EXPECT_NE(json.find("\"tool\": \"dblayout-check\""), std::string::npos);
   EXPECT_NE(json.find("\"file\": \"src/x.cc\""), std::string::npos);
   EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+
+// --- Golden SARIF ----------------------------------------------------------
+
+// One finding per scope-aware rule family, rendered to SARIF and compared
+// byte-for-byte. Regenerate with DBLAYOUT_UPDATE_GOLDEN=1.
+TEST(ReportTest, ScopedRulesSarifMatchesGoldenFile) {
+  CheckRunner runner;
+  runner.AddSource("src/guarded.cc",
+                   "class Registry {\n"
+                   " public:\n"
+                   "  void Add(int v) { items_.push_back(v); }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  std::vector<int> items_ DBLAYOUT_GUARDED_BY(mu_);\n"
+                   "};\n");
+  runner.AddSource("src/unannotated.cc",
+                   "class Pool {\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int count_ = 0;\n"
+                   "};\n");
+  runner.AddSource("src/escape.cc",
+                   "void F(ThreadPool& pool) {\n"
+                   "  {\n"
+                   "    int local = 1;\n"
+                   "    pool.Submit([&local] { Use(local); });\n"
+                   "  }\n"
+                   "  pool.Wait();\n"
+                   "}\n");
+  runner.AddSource("src/layout/taint.cc",
+                   "double Budget() {\n"
+                   "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+                   "}\n");
+  const std::string got = RenderLintSarif(runner.Run(), "dblayout-check");
+  const std::string path =
+      std::string(DBLAYOUT_TESTDATA_DIR) + "/staticcheck_sarif_golden.json";
+  if (std::getenv("DBLAYOUT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    out << got;
+    ASSERT_TRUE(out) << "cannot regenerate " << path;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "SARIF renderer drifted from " << path
+      << " (regenerate with DBLAYOUT_UPDATE_GOLDEN=1)";
+  // Sanity: every scoped family is present in the golden run.
+  for (const char* rule :
+       {"guarded-by-violation", "unannotated-mutex-field", "capture-escape",
+        "determinism-taint"}) {
+    EXPECT_NE(got.find(std::string("\"ruleId\": \"") + rule + "\""),
+              std::string::npos)
+        << rule;
+  }
 }
 
 }  // namespace

@@ -10,12 +10,20 @@
 //                              the gate requires a completely clean tree)
 //   --list-rules               print the rule table and exit
 //   --stats                    print files/suppressed/baselined counts
+//   --jobs N                   analyze files on N threads (default 1); the
+//                              report is byte-identical at any N
+//   --verbose                  print per-file analysis time to stderr
+//   --prune-baseline           rewrite the --baseline file without entries
+//                              that no longer match any finding
 //
 // Exit codes: 0 clean, 1 findings at/above the threshold, 2 usage or I/O
 // error — same convention as dblayout_cli --lint.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -28,13 +36,15 @@ using dblayout::LintRuleInfo;
 using dblayout::LintSeverity;
 using dblayout::ParseLintSeverity;
 using dblayout::Status;
+using dblayout::staticcheck::CheckOptions;
 using dblayout::staticcheck::CheckRunner;
 using dblayout::staticcheck::CheckStats;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--format text|json|sarif] [--baseline FILE]\n"
-               "          [--write-baseline FILE] [--fail-on SEV] [--stats]\n"
+               "          [--write-baseline FILE] [--prune-baseline]\n"
+               "          [--fail-on SEV] [--jobs N] [--verbose] [--stats]\n"
                "          [--list-rules] <file-or-dir>...\n",
                argv0);
   return 2;
@@ -50,6 +60,9 @@ int main(int argc, char** argv) {
   LintSeverity fail_on = LintSeverity::kNote;
   bool list_rules = false;
   bool stats_out = false;
+  bool verbose = false;
+  bool prune_baseline = false;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +86,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       fail_on = *sev;
+    } else if (arg == "--jobs") {
+      char* end = nullptr;
+      jobs = static_cast<int>(std::strtol(next("--jobs"), &end, 10));
+      if (end == nullptr || *end != '\0' || jobs < 1) {
+        std::fprintf(stderr, "--jobs requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--prune-baseline") {
+      prune_baseline = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--stats") {
@@ -91,7 +115,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  CheckRunner runner;
+  if (prune_baseline && baseline.empty()) {
+    std::fprintf(stderr, "--prune-baseline requires --baseline FILE\n");
+    return 2;
+  }
+
+  CheckOptions options;
+  options.jobs = jobs;
+  CheckRunner runner(options);
   if (list_rules) {
     const LintReport empty = CheckRunner().Run();
     for (const LintRuleInfo& r : empty.rules) {
@@ -119,6 +150,33 @@ int main(int argc, char** argv) {
 
   CheckStats stats;
   const LintReport report = runner.Run(&stats);
+
+  if (prune_baseline) {
+    const std::set<std::string> stale(stats.stale_baseline.begin(),
+                                      stats.stale_baseline.end());
+    std::ofstream out(baseline);
+    if (!out) {
+      std::fprintf(stderr, "cannot rewrite baseline %s\n", baseline.c_str());
+      return 2;
+    }
+    out << "# dblayout_check baseline: one `rule|file|message` per line.\n"
+           "# Entries absorb matching findings; prefer fixing or an inline\n"
+           "# `// dblayout-check(<rule>): <justification>` with a reason.\n";
+    size_t kept = 0;
+    for (const std::string& key : runner.baseline()) {
+      if (stale.count(key) > 0) continue;
+      out << key << "\n";
+      ++kept;
+    }
+    std::fprintf(stderr, "pruned %zu stale baseline entr%s from %s (%zu kept)\n",
+                 stale.size(), stale.size() == 1 ? "y" : "ies",
+                 baseline.c_str(), kept);
+  }
+  if (verbose) {
+    for (const CheckStats::FileTiming& t : stats.timings) {
+      std::fprintf(stderr, "%8.2f ms  %s\n", t.millis, t.path.c_str());
+    }
+  }
 
   if (!write_baseline.empty()) {
     std::ofstream out(write_baseline);

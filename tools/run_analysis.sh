@@ -99,11 +99,22 @@ bash "${SOURCE_DIR}/tools/run_lint.sh" \
   --cli "${BUILD_ROOT}/werror/tools/dblayout_cli" || fail "layout lint"
 
 # 3b. dblayout_check gate: the repo's own sources must carry zero
-# unsuppressed determinism/concurrency findings.
+# unsuppressed determinism/concurrency findings. The tool distinguishes
+# "findings at the error threshold" (exit 1) from "could not run at all"
+# (exit 2: bad flags, unreadable input); keep the two failure modes apart
+# so a broken invocation is never mistaken for a dirty tree.
 log "dblayout_check over src/ and bench/"
+check_rc=0
 "${BUILD_ROOT}/werror/tools/dblayout_check" \
   --baseline "${SOURCE_DIR}/tools/staticcheck_baseline.txt" --stats \
-  "${SOURCE_DIR}/src" "${SOURCE_DIR}/bench" || fail "dblayout_check findings"
+  --jobs "${JOBS}" \
+  "${SOURCE_DIR}/src" "${SOURCE_DIR}/bench" || check_rc=$?
+case "${check_rc}" in
+  0) ;;
+  1) fail "dblayout_check: unsuppressed findings (fix, suppress inline, or baseline)" ;;
+  2) fail "dblayout_check: usage or I/O error (tool did not complete a scan)" ;;
+  *) fail "dblayout_check: unexpected exit status ${check_rc}" ;;
+esac
 
 # 4. AddressSanitizer + UndefinedBehaviorSanitizer, with invariant audits on.
 configure_and_build asan-ubsan "-DDBLAYOUT_SANITIZE=address,undefined"
