@@ -253,6 +253,24 @@ int main() {
       return 1;
     }
   }
+
+  // One advised end-to-end run so the record set carries a per-phase
+  // wall-clock breakdown (partition/search/evaluate) for dblayout_report
+  // --compare to gate on.
+  {
+    LayoutAdvisor advisor(db, fleet);
+    Recommendation rec =
+        Unwrap(advisor.RecommendFromProfile(profile22), "advised");
+    std::printf("\nadvised phases: partition %.2f ms, search %.2f ms, "
+                "evaluate %.2f ms\n",
+                rec.phases.partition_ms, rec.phases.search_ms,
+                rec.phases.evaluate_ms);
+    json.Add("advised_tpch22",
+             {{"estimated_cost_ms", StrFormat("%.3f", rec.estimated_cost_ms)},
+              {"full_striping_cost_ms",
+               StrFormat("%.3f", rec.full_striping_cost_ms)}},
+             &rec.telemetry, &rec.phases);
+  }
   json.Write();
   return 0;
 }

@@ -68,7 +68,7 @@ int main() {
               {"greedy_iterations", StrFormat("%d", rec.greedy_iterations)},
               {"layouts_evaluated",
                StrFormat("%lld", static_cast<long long>(rec.layouts_evaluated))}},
-             &rec.telemetry);
+             &rec.telemetry, &rec.phases);
   }
 
   PrintTable("Figure 10: quality of TS-GREEDY vs FULL STRIPING (8 drives)", rows);

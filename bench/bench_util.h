@@ -121,6 +121,15 @@ inline std::string TelemetryJson(const SearchTelemetry& t) {
       static_cast<long long>(t.distinct_signatures), traj.c_str());
 }
 
+/// Serializes a Recommendation's per-phase wall-clock breakdown. Keys end in
+/// "_ms" so dblayout_report --compare treats them as lower-is-better gates.
+inline std::string PhasesJson(const PhaseBreakdown& p) {
+  return StrFormat(
+      "{\"analyze_ms\":%.6g,\"partition_ms\":%.6g,\"search_ms\":%.6g,"
+      "\"evaluate_ms\":%.6g}",
+      p.analyze_ms, p.partition_ms, p.search_ms, p.evaluate_ms);
+}
+
 /// Collects one JSON record per bench case and writes them as a JSON array
 /// to BENCH_<name>.json in the working directory. Machine-readable companion
 /// of PrintTable: downstream tooling diffs these across runs.
@@ -132,13 +141,17 @@ class BenchJson {
   /// unquoted ("12.5") and use JsonQuote for strings.
   void Add(const std::string& case_name,
            const std::vector<std::pair<std::string, std::string>>& fields,
-           const SearchTelemetry* telemetry = nullptr) {
+           const SearchTelemetry* telemetry = nullptr,
+           const PhaseBreakdown* phases = nullptr) {
     std::string rec = StrFormat("{\"case\":%s", JsonQuote(case_name).c_str());
     for (const auto& [key, value] : fields) {
       rec += StrFormat(",%s:%s", JsonQuote(key).c_str(), value.c_str());
     }
     if (telemetry != nullptr) {
       rec += StrFormat(",\"telemetry\":%s", TelemetryJson(*telemetry).c_str());
+    }
+    if (phases != nullptr) {
+      rec += StrFormat(",\"phases\":%s", PhasesJson(*phases).c_str());
     }
     rec += '}';
     records_.push_back(std::move(rec));

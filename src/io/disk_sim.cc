@@ -36,9 +36,10 @@ double ApplyRetryInflation(double time_ms, const std::vector<DiskStream>& stream
 }  // namespace
 
 double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
-                           const SimOptions& options) {
+                           const SimOptions& options, DiskSimStats* stats) {
   DBLAYOUT_OBS_COUNT("io/disk_streams", static_cast<int64_t>(streams.size()));
   double time_ms = 0;
+  DiskSimStats local;
 
   // Random streams: every block is a scattered access; read-ahead cannot
   // help, and their seeks dominate any interleaving effects.
@@ -49,19 +50,32 @@ double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& st
   };
   for (const auto& s : streams) {
     if (s.blocks <= 0) continue;
+    ++local.streams;
     const double ms_per_block = rate_of(s);
     if (s.random) {
+      ++local.random_streams;
+      local.seeks += s.blocks;
+      local.seek_ms += static_cast<double>(s.blocks) * d.seek_ms;
+      local.transfer_ms += static_cast<double>(s.blocks) * ms_per_block;
       time_ms += static_cast<double>(s.blocks) * (d.seek_ms + ms_per_block);
     } else {
+      ++local.sequential_streams;
       sequential.push_back(&s);
     }
   }
-  if (sequential.empty()) return ApplyRetryInflation(time_ms, streams, options);
+  if (sequential.empty()) {
+    if (stats != nullptr) *stats = local;
+    return ApplyRetryInflation(time_ms, streams, options);
+  }
 
   // Single sequential stream: one positioning seek, then pure transfer.
   if (sequential.size() == 1) {
     const DiskStream& s = *sequential[0];
     time_ms += d.seek_ms + static_cast<double>(s.blocks) * rate_of(s);
+    local.seeks += 1;
+    local.seek_ms += d.seek_ms;
+    local.transfer_ms += static_cast<double>(s.blocks) * rate_of(s);
+    if (stats != nullptr) *stats = local;
     return ApplyRetryInflation(time_ms, streams, options);
   }
 
@@ -100,13 +114,19 @@ double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& st
       Active& a = active[i];
       if (a.remaining <= 0) continue;
       const int64_t t = std::min(a.quantum, a.remaining);
-      if (last_serviced != i) time_ms += d.seek_ms;  // head moved
+      if (last_serviced != i) {  // head moved
+        time_ms += d.seek_ms;
+        local.seeks += 1;
+        local.seek_ms += d.seek_ms;
+      }
       time_ms += static_cast<double>(t) * a.ms_per_block;
+      local.transfer_ms += static_cast<double>(t) * a.ms_per_block;
       a.remaining -= t;
       last_serviced = i;
       if (a.remaining > 0) any_left = true;
     }
   }
+  if (stats != nullptr) *stats = local;
   return ApplyRetryInflation(time_ms, streams, options);
 }
 

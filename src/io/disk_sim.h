@@ -42,13 +42,28 @@ struct SimOptions {
   RetryPolicy retry;
 };
 
+/// Aggregate statistics of one SimulateDiskStreams call, for drive-heat
+/// attribution (obs/attribution). All values are pre-retry-inflation; the
+/// active stream count is the drive's concurrency (queue-depth proxy) under
+/// the aggregate model.
+struct DiskSimStats {
+  int64_t streams = 0;  ///< streams with blocks > 0
+  int64_t random_streams = 0;
+  int64_t sequential_streams = 0;
+  int64_t seeks = 0;       ///< head repositionings charged
+  double transfer_ms = 0;  ///< pure block-transfer time
+  double seek_ms = 0;      ///< pure head-movement time
+};
+
 /// Elapsed milliseconds for drive `d` to service all `streams`, with
 /// sequential streams interleaved in proportional round-robin (co-accessed
 /// objects progress at rates proportional to their block counts, the same
 /// co-scheduling assumption as the paper's Section 5 model) and a seek paid
-/// on every switch of the head between streams.
+/// on every switch of the head between streams. When `stats` is non-null it
+/// receives the call's service breakdown.
 double SimulateDiskStreams(const DiskDrive& d, const std::vector<DiskStream>& streams,
-                           const SimOptions& options = {});
+                           const SimOptions& options = {},
+                           DiskSimStats* stats = nullptr);
 
 /// Response time of one pipeline over all drives: max over drives (the last
 /// drive to finish determines the pipeline's I/O response time).

@@ -72,8 +72,9 @@ struct StreamState {
 }  // namespace
 
 double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& streams,
-                         const QueueSimOptions& options) {
+                         const QueueSimOptions& options, QueueSimStats* stats) {
   DBLAYOUT_TRACE_SPAN("io/queue_disk");
+  if (stats != nullptr) *stats = QueueSimStats{};
   std::vector<StreamState> states;
   for (const QueueStream& s : streams) {
     if (s.blocks <= 0) continue;
@@ -96,6 +97,9 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
 
   double time_ms = 0;
   int64_t head = 0;
+  int64_t sweeps = 0;
+  int64_t depth_sum = 0;
+  int64_t depth_max = 0;
   int64_t requests_serviced = 0;
   int64_t transient_errors = 0;
   int64_t request_retries = 0;
@@ -114,6 +118,9 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
       if (st.pending_addr >= 0) batch.push_back(&st);
     }
     if (batch.empty()) break;
+    ++sweeps;
+    depth_sum += static_cast<int64_t>(batch.size());
+    depth_max = std::max(depth_max, static_cast<int64_t>(batch.size()));
     std::sort(batch.begin(), batch.end(), [](const StreamState* a,
                                              const StreamState* b) {
       return a->pending_addr < b->pending_addr;
@@ -167,6 +174,15 @@ double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& str
   }
   if (requests_abandoned > 0) {
     DBLAYOUT_OBS_COUNT("io/requests_abandoned", requests_abandoned);
+  }
+  if (stats != nullptr) {
+    stats->requests = requests_serviced;
+    stats->sweeps = sweeps;
+    stats->busy_ms = time_ms;
+    stats->queue_depth_mean =
+        sweeps > 0 ? static_cast<double>(depth_sum) / static_cast<double>(sweeps)
+                   : 0;
+    stats->queue_depth_max = depth_max;
   }
   return time_ms;
 }

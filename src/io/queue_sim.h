@@ -51,11 +51,26 @@ struct QueueStream {
   uint64_t seed = 1;      ///< randomness for scattered patterns
 };
 
+/// Queue statistics of one SimulateQueueDisk call, for drive-heat
+/// attribution (obs/attribution). The queue depth is sampled once per
+/// elevator sweep: the number of outstanding requests the scheduler sorted
+/// into that sweep (closed-loop clients keep one request in flight each, so
+/// this is the drive's instantaneous concurrency).
+struct QueueSimStats {
+  int64_t requests = 0;  ///< requests serviced
+  int64_t sweeps = 0;    ///< elevator sweeps executed
+  double busy_ms = 0;    ///< total elapsed (equals the return value)
+  double queue_depth_mean = 0;
+  int64_t queue_depth_max = 0;
+};
+
 /// Elapsed ms for drive `d` to service all streams concurrently. The
 /// distance-dependent seek curve is calibrated so that the expected seek
-/// over uniformly random positions equals d.seek_ms.
+/// over uniformly random positions equals d.seek_ms. When `stats` is
+/// non-null it receives the call's queue statistics.
 double SimulateQueueDisk(const DiskDrive& d, const std::vector<QueueStream>& streams,
-                         const QueueSimOptions& options = {});
+                         const QueueSimOptions& options = {},
+                         QueueSimStats* stats = nullptr);
 
 }  // namespace dblayout
 

@@ -1,22 +1,54 @@
 #include "layout/advisor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "layout/evaluator.h"
+#include "obs/journal.h"
 #include "obs/trace.h"
 
 namespace dblayout {
+
+namespace {
+
+/// Monotonic milliseconds for the advisor's observe-only per-phase breakdown
+/// (Recommendation::phases) and the journal's "phase" events.
+double PhaseNowMs() {
+  // dblayout-check(determinism-taint): observe-only phase wall-clock — it fills PhaseBreakdown and the journal's wall-mode "ms" field, and never influences analysis or search decisions
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(now.time_since_epoch())
+      .count();
+}
+
+/// Emits one "phase" journal event. The wall-clock duration is included only
+/// in the journal's opt-in wall-clock mode, keeping default-mode journals
+/// byte-identical across runs and thread counts.
+void EmitPhase(obs::EventJournal* journal, const char* name, double ms) {
+  if (journal == nullptr) return;
+  obs::JournalFields fields{{"name", obs::JsonString(name)}};
+  if (journal->wall_clock()) {
+    fields.emplace_back("ms", obs::JsonDouble(ms));
+  }
+  journal->Append("phase", std::move(fields));
+}
+
+}  // namespace
 
 Result<Recommendation> LayoutAdvisor::Recommend(const Workload& workload) const {
   if (workload.empty()) {
     return Status::InvalidArgument("workload is empty");
   }
+  const double analyze_t0 = PhaseNowMs();
   DBLAYOUT_ASSIGN_OR_RETURN(WorkloadProfile profile,
                             AnalyzeWorkload(db_, workload, options_.optimizer));
-  return RecommendFromProfile(profile);
+  const double analyze_ms = PhaseNowMs() - analyze_t0;
+  EmitPhase(options_.search.journal, "analyze", analyze_ms);
+  DBLAYOUT_ASSIGN_OR_RETURN(Recommendation rec, RecommendFromProfile(profile));
+  rec.phases.analyze_ms = analyze_ms;
+  return rec;
 }
 
 Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
@@ -68,9 +100,16 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   }
 
   TsGreedySearch search(db_, fleet_, options_.search);
+  const double search_t0 = PhaseNowMs();
   DBLAYOUT_ASSIGN_OR_RETURN(SearchResult sr, search.Run(*objective, constraints));
+  const double run_ms = PhaseNowMs() - search_t0;
+  EmitPhase(options_.search.journal, "partition", sr.partition_ms);
+  EmitPhase(options_.search.journal, "search",
+            std::max(0.0, run_ms - sr.partition_ms));
 
   Recommendation rec;
+  rec.phases.partition_ms = sr.partition_ms;
+  rec.phases.search_ms = std::max(0.0, run_ms - sr.partition_ms);
   rec.layout = std::move(sr.layout);
   rec.estimated_cost_ms = sr.cost;
   rec.greedy_iterations = sr.greedy_iterations;
@@ -97,8 +136,10 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
   // recomputation, bit-identical to CostModel::WorkloadCost, so the numbers
   // are unchanged while the evaluation shows up in the same evaluator/
   // cost-model accounting as the search's.
+  const double evaluate_t0 = PhaseNowMs();
   const CostModel cost_model(fleet_);
   LayoutEvaluator reference_eval(*objective, cost_model);
+  reference_eval.set_journal(options_.search.journal);
   rec.full_striping_cost_ms = reference_eval.Bind(rec.full_striping);
   if (options_.constraints.current_layout != nullptr) {
     rec.current_cost_ms =
@@ -112,6 +153,8 @@ Result<Recommendation> LayoutAdvisor::RecommendFromProfile(
     impact.cost_full_striping_ms = cost_model.StatementCost(s, rec.full_striping);
     rec.per_statement.push_back(std::move(impact));
   }
+  rec.phases.evaluate_ms = PhaseNowMs() - evaluate_t0;
+  EmitPhase(options_.search.journal, "evaluate", rec.phases.evaluate_ms);
   return rec;
 }
 

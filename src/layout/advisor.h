@@ -38,6 +38,18 @@ struct AdvisorOptions {
   bool compress_workload = false;
 };
 
+/// Wall-clock breakdown of one advisor run by pipeline phase (Fig. 3):
+/// workload analysis through the optimizer, step-1 partitioning, the greedy
+/// search loop, and the reference evaluations behind the report. Observe-only
+/// telemetry — carried into bench JSON records ("phases") and surfaced by
+/// dblayout_report; never feeds a decision.
+struct PhaseBreakdown {
+  double analyze_ms = 0;    ///< AnalyzeWorkload (0 for RecommendFromProfile)
+  double partition_ms = 0;  ///< step 1: access-graph partition + assignment
+  double search_ms = 0;     ///< greedy widening / migration (Run minus step 1)
+  double evaluate_ms = 0;   ///< reference costs + per-statement impacts
+};
+
 /// The impact of the recommendation on one workload statement.
 struct StatementImpact {
   std::string sql;
@@ -68,6 +80,8 @@ struct Recommendation {
   /// The search's wall-clock budget expired: `layout` is the best valid
   /// layout found so far, not a converged recommendation.
   bool timed_out = false;
+  /// Per-phase wall-clock of this run (see PhaseBreakdown).
+  PhaseBreakdown phases;
   /// Per-failure-scenario degraded-mode evaluation of `layout`, filled by
   /// callers that run EvaluateResilience (src/resilience/degraded.h); null
   /// when no resilience analysis was requested. shared_ptr keeps the advisor

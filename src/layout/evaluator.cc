@@ -4,6 +4,7 @@
 
 #include "analysis/invariant_auditor.h"
 #include "common/logging.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 
 namespace dblayout {
@@ -76,6 +77,12 @@ double LayoutEvaluator::Bind(const Layout& layout) {
   ++full_evals_;
   cost_model_.NoteExternalWorkloadEvaluation();
   DBLAYOUT_OBS_COUNT("evaluator/full_evals", 1);
+  if (journal_ != nullptr) {
+    journal_->Append("bind",
+                     {{"cost", obs::JsonDouble(total_)},
+                      {"subplans", obs::JsonInt(static_cast<int64_t>(
+                                       flat_.size()))}});
+  }
   AuditParity();
   return total_;
 }

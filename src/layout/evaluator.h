@@ -37,6 +37,10 @@
 #include "storage/layout.h"
 #include "workload/analyzer.h"
 
+namespace dblayout::obs {
+class EventJournal;
+}  // namespace dblayout::obs
+
 namespace dblayout {
 
 class LayoutEvaluator {
@@ -129,6 +133,12 @@ class LayoutEvaluator {
 
   int num_subplans() const { return static_cast<int>(flat_.size()); }
 
+  /// Observe-only decision journal (not owned; may be null). When set, every
+  /// Bind() — a full §5 recomputation — appends one "bind" event carrying
+  /// the recomputed total and the sub-plan count. Bind is always called from
+  /// sequential sections, so the event order is deterministic.
+  void set_journal(obs::EventJournal* journal) { journal_ = journal; }
+
  private:
   /// One flattened (statement, sub-plan) entry, in WorkloadCost's iteration
   /// order.
@@ -189,6 +199,7 @@ class LayoutEvaluator {
 
   mutable std::atomic<int64_t> delta_evals_{0};
   int64_t full_evals_ = 0;
+  obs::EventJournal* journal_ = nullptr;  ///< not owned; see set_journal
 };
 
 }  // namespace dblayout

@@ -13,6 +13,7 @@
 #include "common/thread_pool.h"
 #include "graph/partition.h"
 #include "layout/evaluator.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -96,6 +97,18 @@ void PublishSearchMetrics(const SearchTelemetry& t) {
   if (t.timed_out) {
     DBLAYOUT_OBS_COUNT("search/timeouts", 1);
   }
+}
+
+/// Monotonic nanoseconds for the journal's per-candidate "eval_ns" field.
+/// Returns 0 unless the journal runs in its opt-in wall-clock mode
+/// (obs::JournalOptions::wall_clock), which deliberately trades the
+/// byte-identity guarantee for real timings; the default logical-clock mode
+/// never reaches the clock read.
+uint64_t JournalNowNs(bool journal_wall_clock) {
+  if (!journal_wall_clock) return 0;
+  // dblayout-check(determinism-taint): reached only in the journal's opt-in wall-clock mode; the timing is observe-only (emitted as "eval_ns") and never feeds a search decision
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(now.time_since_epoch().count());
 }
 
 /// Fractional blocks used on every drive by `layout`.
@@ -376,10 +389,21 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
   // candidate is scored by re-costing only the sub-plans that touch the
   // moved group. Totals are bit-identical to a full recomputation (see
   // layout/evaluator.h), so this changes wall-clock time, never the answer.
+  // Observe-only decision journal (see SearchOptions::journal): events are
+  // emitted sequentially except in the scoring phase, which buffers per
+  // worker and merges in candidate order after the join.
+  obs::EventJournal* const journal = options_.journal;
+  const bool journal_wall = journal != nullptr && journal->wall_clock();
   LayoutEvaluator evaluator(profile, cost_model);
+  evaluator.set_journal(journal);
   double cost = evaluator.Bind(layout);
   stats->initial_cost = cost;
   telemetry.cost_trajectory.push_back(cost);
+
+  if (journal != nullptr) {
+    journal->Append("search_start", {{"phase", obs::JsonString("greedy")},
+                                     {"cost", obs::JsonDouble(cost)}});
+  }
 
   std::vector<double> used = FractionalUsed(layout, sizes);
 
@@ -440,6 +464,14 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
               static_cast<double>(fleet_.disk(j).capacity_blocks) *
                   options_.capacity_margin) {
             ++telemetry.capacity_rejected;
+            if (journal != nullptr) {
+              journal->Append("reject",
+                              {{"iter", obs::JsonInt(iter)},
+                               {"move", obs::JsonString(MoveKindName(kind))},
+                               {"group", obs::JsonIntArray(group)},
+                               {"to", obs::JsonIntArray(disk_set)},
+                               {"reason", obs::JsonString("capacity")}});
+            }
             return;  // violates capacity
           }
         }
@@ -449,6 +481,14 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
                                                base, in_group, row, sizes);
           if (moved > constraints.max_movement_blocks) {
             ++telemetry.movement_rejected;
+            if (journal != nullptr) {
+              journal->Append(
+                  "reject", {{"iter", obs::JsonInt(iter)},
+                             {"move", obs::JsonString(MoveKindName(kind))},
+                             {"group", obs::JsonIntArray(group)},
+                             {"to", obs::JsonIntArray(disk_set)},
+                             {"reason", obs::JsonString("movement_budget")}});
+            }
             return;
           }
         }
@@ -504,17 +544,40 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
     // sequential one would.
     costs.assign(cands.size(), 0.0);
     size_t scored = cands.size();
+    // Per-worker journal buffers: the scoring lambda never takes the
+    // journal's lock; MergeShards appends the buffered "eval" events in
+    // candidate order after the join, so the journal bytes are independent
+    // of the thread count (same fixed-slot discipline as `costs`).
+    std::vector<obs::EventJournal::Shard> shards(
+        journal != nullptr ? static_cast<size_t>(parallelism) : 0);
+    auto buffer_eval = [&shards, &costs, journal_wall, iter](
+                           size_t idx, uint64_t t0, int worker) {
+      obs::JournalFields fields{{"iter", obs::JsonInt(iter)},
+                                {"cand", obs::JsonInt(static_cast<int64_t>(idx))},
+                                {"cost", obs::JsonDouble(costs[idx])},
+                                {"mode", obs::JsonString("delta")}};
+      if (journal_wall) {
+        fields.emplace_back("eval_ns", obs::JsonInt(static_cast<int64_t>(
+                                           JournalNowNs(journal_wall) - t0)));
+      }
+      shards[static_cast<size_t>(worker)].Append(static_cast<int64_t>(idx),
+                                                 "eval", std::move(fields));
+    };
     if (parallelism > 1 && cands.size() > 1) {
       scratches.resize(static_cast<size_t>(parallelism));
       for (auto& s : scratches) s = evaluator.MakeScratch();
       ThreadPool::Shared().ParallelFor(
           static_cast<int64_t>(cands.size()), parallelism,
-          [&cands, &costs, &groups, &evaluator, &scratches](int64_t idx,
-                                                            int worker) {
+          [&cands, &costs, &groups, &evaluator, &scratches, &shards,
+           &buffer_eval, journal_wall](int64_t idx, int worker) {
             const Candidate& c = cands[static_cast<size_t>(idx)];
+            const uint64_t t0 = JournalNowNs(journal_wall);
             costs[static_cast<size_t>(idx)] = evaluator.ScoreProportionalMove(
                 groups[static_cast<size_t>(c.group)], c.disks,
                 &scratches[static_cast<size_t>(worker)]);
+            if (!shards.empty()) {
+              buffer_eval(static_cast<size_t>(idx), t0, worker);
+            }
           });
     } else {
       scratches.resize(1);
@@ -531,10 +594,13 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
           break;
         }
         const Candidate& c = cands[idx];
+        const uint64_t t0 = JournalNowNs(journal_wall);
         costs[idx] = evaluator.ScoreProportionalMove(
             groups[static_cast<size_t>(c.group)], c.disks, &scratches[0]);
+        if (!shards.empty()) buffer_eval(idx, t0, /*worker=*/0);
       }
     }
+    if (journal != nullptr) journal->MergeShards(&shards);
 
     // Phase 3: fold the scores in enumeration order under the same
     // strict-improvement-over-running-best rule the sequential formulation
@@ -548,6 +614,39 @@ Result<Layout> TsGreedySearch::GreedyWiden(const WorkloadProfile& profile,
         best_cost = costs[idx];
         best_idx = idx;
       }
+    }
+    if (journal != nullptr) {
+      // One decision line per scored candidate, in enumeration order and
+      // against the pre-move base: accepted (the fold's winner), outscored
+      // (improves on the base but lost the fold), or not_improving.
+      for (size_t idx = 0; idx < scored; ++idx) {
+        const Candidate& c = cands[idx];
+        const auto& g = groups[static_cast<size_t>(c.group)];
+        const bool accepted = idx == best_idx;
+        const char* reason = accepted                  ? "improved"
+                             : costs[idx] < cost - kEps ? "outscored"
+                                                        : "not_improving";
+        journal->Append(
+            "decision",
+            {{"iter", obs::JsonInt(iter)},
+             {"cand", obs::JsonInt(static_cast<int64_t>(idx))},
+             {"move", obs::JsonString(MoveKindName(c.kind))},
+             {"group", obs::JsonIntArray(g)},
+             {"from", obs::JsonIntArray(base.DisksOf(g[0]))},
+             {"to", obs::JsonIntArray(c.disks)},
+             {"cost", obs::JsonDouble(costs[idx])},
+             {"delta", obs::JsonDouble(costs[idx] - cost)},
+             {"accepted", obs::JsonBool(accepted)},
+             {"reason", obs::JsonString(reason)}});
+      }
+      journal->Append(
+          "iter_end",
+          {{"iter", obs::JsonInt(iter)},
+           {"candidates", obs::JsonInt(static_cast<int64_t>(cands.size()))},
+           {"scored", obs::JsonInt(static_cast<int64_t>(scored))},
+           {"accepted", obs::JsonInt(best_idx == cands.size() ? 0 : 1)},
+           {"cost", obs::JsonDouble(best_idx == cands.size() ? cost
+                                                             : best_cost)}});
     }
     if (best_idx == cands.size()) break;
     const Candidate& best = cands[best_idx];
@@ -634,8 +733,16 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     }
   }
 
+  obs::EventJournal* const journal = options_.journal;
+  const bool journal_wall = journal != nullptr && journal->wall_clock();
   LayoutEvaluator evaluator(profile, cost_model);
+  evaluator.set_journal(journal);
   double cost = evaluator.Bind(layout);
+
+  if (journal != nullptr) {
+    journal->Append("search_start", {{"phase", obs::JsonString("migrate")},
+                                     {"cost", obs::JsonDouble(cost)}});
+  }
 
   // Candidate move units: single groups, plus pairs of groups connected in
   // the access graph — separating a co-accessed pair only pays off when
@@ -672,7 +779,7 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
   std::vector<LayoutEvaluator::Scratch> scratches;
 
   std::vector<bool> migrated(groups.size(), false);
-  for (;;) {
+  for (int iter = 0;; ++iter) {
     if (deadline.Expired()) {
       stats->telemetry.timed_out = true;
       break;
@@ -702,10 +809,26 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
       if (constraints.max_movement_blocks >= 0 &&
           moved > constraints.max_movement_blocks) {
         ++stats->telemetry.movement_rejected;
+        if (journal != nullptr) {
+          journal->Append("reject",
+                          {{"iter", obs::JsonInt(iter)},
+                           {"move", obs::JsonString("migrate")},
+                           {"group", obs::JsonIntArray(objects)},
+                           {"to", obs::JsonIntArray(target.DisksOf(objects[0]))},
+                           {"reason", obs::JsonString("movement_budget")}});
+        }
         continue;
       }
       if (!candidate.Validate(sizes, fleet_).ok()) {
         ++stats->telemetry.capacity_rejected;
+        if (journal != nullptr) {
+          journal->Append("reject",
+                          {{"iter", obs::JsonInt(iter)},
+                           {"move", obs::JsonString("migrate")},
+                           {"group", obs::JsonIntArray(objects)},
+                           {"to", obs::JsonIntArray(target.DisksOf(objects[0]))},
+                           {"reason", obs::JsonString("capacity")}});
+        }
         continue;
       }
       const double step_moved = std::max(
@@ -717,16 +840,38 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
     // objects are re-costed).
     costs.assign(steps.size(), 0.0);
     size_t scored = steps.size();
+    // Same shard discipline as the greedy phase: "eval" events buffer per
+    // worker and merge in step order, keeping the journal thread-count
+    // independent.
+    std::vector<obs::EventJournal::Shard> shards(
+        journal != nullptr ? static_cast<size_t>(parallelism) : 0);
+    auto buffer_eval = [&shards, &costs, journal_wall, iter](
+                           size_t idx, uint64_t t0, int worker) {
+      obs::JournalFields fields{{"iter", obs::JsonInt(iter)},
+                                {"cand", obs::JsonInt(static_cast<int64_t>(idx))},
+                                {"cost", obs::JsonDouble(costs[idx])},
+                                {"mode", obs::JsonString("delta")}};
+      if (journal_wall) {
+        fields.emplace_back("eval_ns", obs::JsonInt(static_cast<int64_t>(
+                                           JournalNowNs(journal_wall) - t0)));
+      }
+      shards[static_cast<size_t>(worker)].Append(static_cast<int64_t>(idx),
+                                                 "eval", std::move(fields));
+    };
     if (parallelism > 1 && steps.size() > 1) {
       scratches.resize(static_cast<size_t>(parallelism));
       for (auto& s : scratches) s = evaluator.MakeScratch();
       ThreadPool::Shared().ParallelFor(
           static_cast<int64_t>(steps.size()), parallelism,
-          [&steps, &costs, &evaluator, &scratches, &target](int64_t idx,
-                                                            int worker) {
+          [&steps, &costs, &evaluator, &scratches, &target, &shards,
+           &buffer_eval, journal_wall](int64_t idx, int worker) {
+            const uint64_t t0 = JournalNowNs(journal_wall);
             costs[static_cast<size_t>(idx)] = evaluator.ScoreRowsFromMove(
                 steps[static_cast<size_t>(idx)].objects, target,
                 &scratches[static_cast<size_t>(worker)]);
+            if (!shards.empty()) {
+              buffer_eval(static_cast<size_t>(idx), t0, worker);
+            }
           });
     } else {
       scratches.resize(1);
@@ -737,10 +882,13 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
           scored = idx;
           break;
         }
+        const uint64_t t0 = JournalNowNs(journal_wall);
         costs[idx] = evaluator.ScoreRowsFromMove(steps[idx].objects, target,
                                                  &scratches[0]);
+        if (!shards.empty()) buffer_eval(idx, t0, /*worker=*/0);
       }
     }
+    if (journal != nullptr) journal->MergeShards(&shards);
 
     // Phase 3: best cost gain per moved block, strict improvement only;
     // ties resolve to the earliest unit, matching the sequential fold.
@@ -754,6 +902,40 @@ Result<Layout> TsGreedySearch::MigrateTowardTarget(
         best_ratio = ratio;
         best_idx = idx;
       }
+    }
+    if (journal != nullptr) {
+      // Migration decisions rank by cost gain per moved block, so a step
+      // can improve on the base yet lose the fold ("outscored").
+      for (size_t idx = 0; idx < scored; ++idx) {
+        const bool accepted = idx == best_idx;
+        const char* reason = accepted                  ? "improved"
+                             : costs[idx] < cost - kEps ? "outscored"
+                                                        : "not_improving";
+        journal->Append(
+            "decision",
+            {{"iter", obs::JsonInt(iter)},
+             {"cand", obs::JsonInt(static_cast<int64_t>(idx))},
+             {"move", obs::JsonString("migrate")},
+             {"group", obs::JsonIntArray(steps[idx].objects)},
+             {"from",
+              obs::JsonIntArray(base.DisksOf(steps[idx].objects[0]))},
+             {"to",
+              obs::JsonIntArray(target.DisksOf(steps[idx].objects[0]))},
+             {"cost", obs::JsonDouble(costs[idx])},
+             {"delta", obs::JsonDouble(costs[idx] - cost)},
+             {"step_moved", obs::JsonDouble(steps[idx].step_moved)},
+             {"accepted", obs::JsonBool(accepted)},
+             {"reason", obs::JsonString(reason)}});
+      }
+      journal->Append(
+          "iter_end",
+          {{"iter", obs::JsonInt(iter)},
+           {"candidates", obs::JsonInt(static_cast<int64_t>(steps.size()))},
+           {"scored", obs::JsonInt(static_cast<int64_t>(scored))},
+           {"accepted", obs::JsonInt(best_idx == steps.size() ? 0 : 1)},
+           {"cost", obs::JsonDouble(best_idx == steps.size()
+                                        ? cost
+                                        : costs[best_idx])}});
     }
     if (best_idx == steps.size()) break;
 
@@ -794,7 +976,14 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
   // One deadline for the whole run: probe search, migration, and the final
   // greedy phase share the budget.
   const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms);
+  // dblayout-check(determinism-taint): step-1 wall-clock is observe-only telemetry (SearchResult::partition_ms feeds the advisor's PhaseBreakdown); it never influences the search
+  const auto partition_t0 = std::chrono::steady_clock::now();
   DBLAYOUT_ASSIGN_OR_RETURN(Layout initial, InitialLayout(profile, constraints));
+  // dblayout-check(determinism-taint): end of the observe-only step-1 timing above
+  const auto partition_t1 = std::chrono::steady_clock::now();
+  result.partition_ms =
+      std::chrono::duration<double, std::milli>(partition_t1 - partition_t0)
+          .count();
 
   const std::vector<int64_t> sizes = db_.ObjectSizes();
   // If an incrementality budget is in force and the redesigned starting
@@ -833,6 +1022,18 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
     if (striped.Validate(sizes, fleet_).ok() &&
         CheckConstraints(striped, constraints, db_, fleet_).ok()) {
       const double striped_cost = cost_model.WorkloadCost(profile, striped);
+      if (options_.journal != nullptr) {
+        const bool accepted = striped_cost < result.cost - kEps;
+        options_.journal->Append(
+            "decision",
+            {{"move", obs::JsonString("fallback_full_striping")},
+             {"cost", obs::JsonDouble(striped_cost)},
+             {"delta", obs::JsonDouble(striped_cost - result.cost)},
+             {"accepted", obs::JsonBool(accepted)},
+             {"reason",
+              obs::JsonString(accepted ? "improved" : "not_improving")},
+             {"mode", obs::JsonString("full")}});
+      }
       if (striped_cost < result.cost - kEps) {
         result.cost = striped_cost;
         result.layout = striped;

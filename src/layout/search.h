@@ -18,6 +18,10 @@
 #include "layout/constraints.h"
 #include "layout/cost_model.h"
 
+namespace dblayout::obs {
+class EventJournal;
+}  // namespace dblayout::obs
+
 namespace dblayout {
 
 /// One progress sample, delivered after every accepted greedy/migration
@@ -83,6 +87,14 @@ struct SearchOptions {
   /// Per-iteration progress reporting (search remains deterministic; the
   /// hook only observes). Called after every accepted move.
   std::function<void(const SearchProgress&)> progress_hook;
+  /// Decision journal (not owned; may be null). When set, the search emits
+  /// one event per enumerated/scored/decided candidate — rejects with
+  /// reasons, per-candidate eval scores, the accept/reject decision of every
+  /// iteration — through obs::EventJournal. Events from the parallel scoring
+  /// phase are buffered per worker and merged in candidate order, so the
+  /// journal is byte-identical at any num_threads (the journal only
+  /// observes; it never influences the search).
+  obs::EventJournal* journal = nullptr;
 };
 
 /// Structured introspection of one search run: which of Fig. 9's moves were
@@ -138,6 +150,10 @@ struct SearchResult {
   /// The wall-clock budget expired; `layout` is the best-so-far valid
   /// layout, not a converged one.
   bool timed_out = false;
+  /// Wall-clock spent in step 1 (access-graph partitioning + disjoint
+  /// assignment) by Run; 0 for RunFrom. Feeds the advisor's per-phase
+  /// breakdown (PhaseBreakdown).
+  double partition_ms = 0;
   SearchTelemetry telemetry;
 };
 

@@ -1,0 +1,63 @@
+#include "obs/build_info.h"
+
+#include "common/strutil.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Stamped at configure time via compile definitions scoped to this file
+// (src/obs/CMakeLists.txt); everything degrades to a readable placeholder
+// so the library builds anywhere.
+#ifndef DBLAYOUT_BUILD_GIT_SHA
+#define DBLAYOUT_BUILD_GIT_SHA "unknown"
+#endif
+#ifndef DBLAYOUT_BUILD_COMPILER
+#define DBLAYOUT_BUILD_COMPILER "unknown"
+#endif
+#ifndef DBLAYOUT_BUILD_TYPE
+#define DBLAYOUT_BUILD_TYPE "unspecified"
+#endif
+#ifndef DBLAYOUT_BUILD_FLAGS
+#define DBLAYOUT_BUILD_FLAGS ""
+#endif
+
+namespace dblayout::obs {
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo* const info = new BuildInfo{
+      DBLAYOUT_BUILD_GIT_SHA,
+      DBLAYOUT_BUILD_COMPILER,
+      DBLAYOUT_BUILD_TYPE,
+      DBLAYOUT_BUILD_FLAGS,
+  };
+  return *info;
+}
+
+std::vector<std::pair<std::string, std::string>> BuildInfoLabels() {
+  const BuildInfo& info = GetBuildInfo();
+  return {
+      {"git_sha", info.git_sha},
+      {"compiler", info.compiler},
+      {"build_type", info.build_type},
+      {"flags", info.flags},
+  };
+}
+
+void StampRunMetadata(uint64_t seed, int threads) {
+  if (!Enabled()) return;
+  std::vector<std::pair<std::string, std::string>> labels = BuildInfoLabels();
+  labels.emplace_back("seed", StrFormat("%llu",
+                                        static_cast<unsigned long long>(seed)));
+  labels.emplace_back("threads", StrFormat("%d", threads));
+  MetricsRegistry::Global().SetInfo(
+      "build/info", "Build and run metadata for artifact attribution",
+      std::move(labels));
+  Tracer& tracer = Tracer::Global();
+  const BuildInfo& info = GetBuildInfo();
+  tracer.SetMetadata("git_sha", info.git_sha);
+  tracer.SetMetadata("compiler", info.compiler);
+  tracer.SetMetadata("build_type", info.build_type);
+  if (!info.flags.empty()) tracer.SetMetadata("build_flags", info.flags);
+  tracer.SetMetadata("threads", StrFormat("%d", threads));
+}
+
+}  // namespace dblayout::obs

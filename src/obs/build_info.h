@@ -1,0 +1,39 @@
+// Build metadata stamped into every observability artifact (Prometheus info
+// metric, Chrome-trace metadata, journal run_start envelope) so a metrics
+// file or journal found on disk can always be traced back to the build that
+// produced it. Values are baked in at configure time via compile definitions
+// scoped to build_info.cc (see src/obs/CMakeLists.txt); the git SHA degrades
+// to "unknown" outside a git checkout.
+
+#ifndef DBLAYOUT_OBS_BUILD_INFO_H_
+#define DBLAYOUT_OBS_BUILD_INFO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dblayout::obs {
+
+struct BuildInfo {
+  std::string git_sha;     ///< short HEAD SHA at configure time, or "unknown"
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE, or "unspecified"
+  std::string flags;       ///< notable build flags (sanitizers, OBS, TSA)
+};
+
+/// The build this binary was compiled from. Cheap; values are literals.
+const BuildInfo& GetBuildInfo();
+
+/// Build metadata as ordered (key, value) label pairs — the single source
+/// for the Prometheus info metric, trace metadata, and journal envelope.
+std::vector<std::pair<std::string, std::string>> BuildInfoLabels();
+
+/// Stamps build metadata plus the run's seed and thread count into the
+/// global MetricsRegistry (as the `dblayout_build_info` labeled info gauge)
+/// and the global Tracer metadata. No-op when telemetry is disabled.
+void StampRunMetadata(uint64_t seed, int threads);
+
+}  // namespace dblayout::obs
+
+#endif  // DBLAYOUT_OBS_BUILD_INFO_H_

@@ -1,0 +1,186 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+namespace dblayout::obs {
+
+namespace {
+
+/// Monotonic nanoseconds for the journal's opt-in wall-clock mode. A clock
+/// read in the obs layer is infrastructure, not a determinism leak — the
+/// taint rule only gates the entry layers — and the wall_clock mode that
+/// reaches here explicitly forfeits the byte-identity guarantee.
+uint64_t WallClockNowNs() {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          now.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string JsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string JsonInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string JsonBool(bool v) { return v ? "true" : "false"; }
+
+std::string JsonDouble(double v) {
+  // JSON has no NaN/Inf; journals carry costs and timings, which are finite
+  // by construction, but degrade gracefully rather than emit invalid JSON.
+  if (!(v == v)) return "null";
+  if (v > 1.7e308) return "1e308";
+  if (v < -1.7e308) return "-1e308";
+  char buf[64];
+  // Shortest round-trip: try successively longer precisions; %.17g is exact
+  // for every finite double, so the loop always terminates with a faithful
+  // representation and short values stay diff-friendly.
+  for (int prec = 6; prec <= 17; prec += prec < 15 ? 9 : 1) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string JsonIntArray(const std::vector<int>& v) {
+  std::string out = "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) out.push_back(',');
+    out += JsonInt(v[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+EventJournal::EventJournal(JournalOptions options)
+    : options_(options),
+      epoch_ns_(options.wall_clock ? WallClockNowNs() : 0) {}
+
+void EventJournal::AppendLocked(const char* type, const JournalFields& fields) {
+  std::string line = "{\"ev\":";
+  line += JsonString(type);
+  if (options_.wall_clock) {
+    line += ",\"t_us\":";
+    line += JsonInt(static_cast<int64_t>((WallClockNowNs() - epoch_ns_) / 1000));
+  }
+  for (const auto& [key, value] : fields) {
+    line.push_back(',');
+    line += JsonString(key);
+    line.push_back(':');
+    line += value;
+  }
+  line.push_back('}');
+  lines_.push_back(std::move(line));
+}
+
+void EventJournal::Append(const char* type, const JournalFields& fields) {
+  MutexLock lock(mu_);
+  AppendLocked(type, fields);
+}
+
+void EventJournal::Shard::Append(int64_t key, const char* type,
+                                 JournalFields fields) {
+  events_.push_back(Pending{key, type, std::move(fields)});
+}
+
+void EventJournal::MergeShards(std::vector<Shard>* shards) {
+  // Gather (key, shard index, position) triples and stable-sort by key so
+  // the merged order is a pure function of the keys — not of which worker
+  // happened to own which shard.
+  struct Ref {
+    int64_t key;
+    size_t shard;
+    size_t pos;
+  };
+  std::vector<Ref> refs;
+  for (size_t s = 0; s < shards->size(); ++s) {
+    const Shard& shard = (*shards)[s];
+    for (size_t p = 0; p < shard.events_.size(); ++p) {
+      refs.push_back(Ref{shard.events_[p].key, s, p});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) { return a.key < b.key; });
+  MutexLock lock(mu_);
+  for (const Ref& r : refs) {
+    const Shard::Pending& e = (*shards)[r.shard].events_[r.pos];
+    AppendLocked(e.type.c_str(), e.fields);
+  }
+  for (Shard& shard : *shards) shard.events_.clear();
+}
+
+int64_t EventJournal::event_count() const {
+  MutexLock lock(mu_);
+  return static_cast<int64_t>(lines_.size());
+}
+
+std::string EventJournal::Serialize() const {
+  MutexLock lock(mu_);
+  std::string out;
+  size_t total = 0;
+  for (const std::string& line : lines_) total += line.size() + 1;
+  out.reserve(total);
+  for (const std::string& line : lines_) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status EventJournal::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open journal output file: " + path);
+  }
+  out << Serialize();
+  out.close();
+  if (!out) {
+    return Status::Internal("failed writing journal output file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dblayout::obs

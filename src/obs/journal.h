@@ -1,0 +1,123 @@
+// Structured search-event journal: a schema-versioned JSONL stream recording
+// every decision the layout search makes (candidate scored, move accepted or
+// rejected and why), bracketed by run-start/run-end envelope events carrying
+// the run's configuration (seed, thread count, build metadata).
+//
+// Determinism contract (mirrors DESIGN.md §10): with the default logical
+// clock, the journal produced by a fixed-seed run is byte-identical at any
+// SearchOptions::num_threads value. The parallel candidate-scoring phase
+// never appends directly — each worker buffers its events in a private
+// Shard keyed by the candidate's enumeration index, and MergeShards appends
+// them in ascending key order after the ParallelFor barrier (the same
+// fixed-slot discipline LayoutEvaluator uses for scores). Wall-clock fields
+// ("t_us" per event, "eval_ns"/"ms" where emitters measure) exist only in
+// the opt-in wall-clock mode, which trades the byte-identity guarantee for
+// real timings; everything else in a journal line is a pure function of the
+// run's inputs.
+//
+// One event per line, first line is the run_start envelope:
+//   {"ev":"run_start","v":1,"seed":42,"threads":4,...}
+//   {"ev":"decision","iter":0,"cand":3,"move":"widen",...}
+//   {"ev":"run_end","status":"ok","cost":1234.5,...}
+// The envelope records the knobs that are *allowed* to differ between
+// equivalent runs (thread count); every line after it must be byte-identical
+// across thread counts (what tools/run_report.sh gates on).
+
+#ifndef DBLAYOUT_OBS_JOURNAL_H_
+#define DBLAYOUT_OBS_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/result.h"
+
+namespace dblayout::obs {
+
+/// Bump when an event type gains/loses/renames fields. Carried as "v" in the
+/// run_start envelope so dblayout_report can refuse journals it postdates.
+inline constexpr int kJournalSchemaVersion = 1;
+
+/// (key, already-serialized JSON value) pairs, emitted in order. Use the
+/// Json* helpers below for values.
+using JournalFields = std::vector<std::pair<std::string, std::string>>;
+
+// JSON value serialization helpers (deterministic formatting).
+std::string JsonString(const std::string& s);  ///< quoted + escaped
+std::string JsonInt(int64_t v);
+std::string JsonBool(bool v);
+/// Shortest representation that round-trips a double ("%.17g" with a "%g"
+/// fast path when it already round-trips) — deterministic, diff-friendly.
+std::string JsonDouble(double v);
+std::string JsonIntArray(const std::vector<int>& v);
+
+struct JournalOptions {
+  /// Include wall-clock timestamps: "t_us" (microseconds since the journal
+  /// was created) on every event. Emitters additionally gate their own
+  /// duration fields ("eval_ns", phase "ms") on this. Off by default so
+  /// journals are byte-identical across thread counts and re-runs.
+  bool wall_clock = false;
+};
+
+/// Thread-safe JSONL event sink. Append() may be called from any thread
+/// (one mutex acquisition per event); the Shard/MergeShards pair is the
+/// lock-free buffered path for parallel sections that must stay
+/// order-deterministic.
+class EventJournal {
+ public:
+  explicit EventJournal(JournalOptions options = {});
+
+  bool wall_clock() const { return options_.wall_clock; }
+
+  /// Appends one event line: {"ev":"<type>"[,"t_us":N],<fields...>}.
+  void Append(const char* type, const JournalFields& fields);
+
+  /// Per-worker event buffer for parallel phases. Not thread-safe itself —
+  /// create one per worker, then MergeShards sequentially after the join.
+  class Shard {
+   public:
+    /// Buffers an event with a deterministic ordering key (the candidate's
+    /// enumeration index in the search's scoring phase).
+    void Append(int64_t key, const char* type, JournalFields fields);
+    bool empty() const { return events_.empty(); }
+
+   private:
+    friend class EventJournal;
+    struct Pending {
+      int64_t key = 0;
+      std::string type;
+      JournalFields fields;
+    };
+    std::vector<Pending> events_;
+  };
+
+  /// Appends every buffered event of every shard in ascending key order
+  /// (stable for equal keys: shard order, then insertion order), then clears
+  /// the shards. Deterministic whenever the keys are: the resulting lines do
+  /// not depend on which worker buffered which event.
+  void MergeShards(std::vector<Shard>* shards);
+
+  int64_t event_count() const;
+
+  /// The full journal: one JSON object per line, trailing newline.
+  std::string Serialize() const;
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  /// Serializes one event body and appends it under the lock.
+  void AppendLocked(const char* type, const JournalFields& fields)
+      DBLAYOUT_REQUIRES(mu_);
+
+  const JournalOptions options_;
+  const uint64_t epoch_ns_;  ///< wall-clock epoch (0 in logical-clock mode)
+
+  mutable Mutex mu_;
+  std::vector<std::string> lines_ DBLAYOUT_GUARDED_BY(mu_);
+};
+
+}  // namespace dblayout::obs
+
+#endif  // DBLAYOUT_OBS_JOURNAL_H_

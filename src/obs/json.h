@@ -1,0 +1,76 @@
+// Minimal recursive-descent JSON parser for the observability tooling:
+// dblayout_report reads journal JSONL lines and BENCH_*.json files, and the
+// journal tests re-parse every emitted line. Objects preserve key order
+// (journals are order-significant for diffing); numbers are doubles with an
+// exact-int fast path. Not a general-purpose library — no streaming, no
+// \uXXXX surrogate pairs beyond BMP passthrough.
+
+#ifndef DBLAYOUT_OBS_JSON_H_
+#define DBLAYOUT_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dblayout::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  int64_t int_value() const { return static_cast<int64_t>(number_); }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// First member named `key`, or nullptr. Linear scan — journal events and
+  /// bench records have a handful of fields.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience accessors with fallbacks for optional fields.
+  double NumberOr(const std::string& key, double fallback) const;
+  int64_t IntOr(const std::string& key, int64_t fallback) const;
+  std::string StringOr(const std::string& key, std::string fallback) const;
+  bool BoolOr(const std::string& key, bool fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v);
+  static JsonValue Number(double v);
+  static JsonValue String(std::string v);
+  static JsonValue Array(std::vector<JsonValue> v);
+  static JsonValue Object(std::vector<std::pair<std::string, JsonValue>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is a ParseError.
+/// Error messages carry a byte offset.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace dblayout::obs
+
+#endif  // DBLAYOUT_OBS_JSON_H_

@@ -36,6 +36,30 @@ std::string PrometheusNumber(double v) {
   return StrFormat("%g", v);
 }
 
+/// Label values escape backslash, double quote, and newline (exposition
+/// format rules); label *names* come from our own call sites and are
+/// assumed well-formed.
+std::string PrometheusLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
@@ -70,6 +94,47 @@ std::vector<int64_t> Histogram::bucket_counts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::Quantile(double q) const {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const std::vector<int64_t> counts = bucket_counts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0;
+  // Target rank in [0, total]; walk cumulative counts to its bucket.
+  const double rank = q * static_cast<double>(total);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const int64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      // Overflow bucket has no upper bound: clamp to the last finite bound
+      // (the histogram_quantile convention — the estimate is a floor, not a
+      // fabrication of mass beyond the largest bucket).
+      if (i >= upper_bounds_.size()) {
+        return upper_bounds_.empty() ? 0 : upper_bounds_.back();
+      }
+      const double lo = i == 0 ? 0 : upper_bounds_[i - 1];
+      const double hi = upper_bounds_[i];
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return upper_bounds_.empty() ? 0 : upper_bounds_.back();
+}
+
+std::string Histogram::SummaryString() const {
+  return StrFormat("count=%lld sum=%s p50=%s p95=%s p99=%s",
+                   static_cast<long long>(count()),
+                   PrometheusNumber(sum()).c_str(),
+                   PrometheusNumber(Quantile(0.50)).c_str(),
+                   PrometheusNumber(Quantile(0.95)).c_str(),
+                   PrometheusNumber(Quantile(0.99)).c_str());
 }
 
 void Histogram::Reset() {
@@ -136,6 +201,18 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return e.histogram.get();
 }
 
+void MetricsRegistry::SetInfo(
+    const std::string& name, const std::string& help,
+    std::vector<std::pair<std::string, std::string>> labels) {
+  MutexLock lock(mu_);
+  Entry& e = GetEntryLocked(name);
+  if (e.info.name.empty()) {
+    e.info = MetricInfo{name, help, MetricInfo::Kind::kInfo};
+  }
+  DBLAYOUT_CHECK(e.info.kind == MetricInfo::Kind::kInfo);
+  e.labels = std::move(labels);
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
   MutexLock lock(mu_);
   std::string out;
@@ -175,6 +252,48 @@ std::string MetricsRegistry::RenderPrometheus() const {
                          PrometheusNumber(e.histogram->sum()).c_str());
         out += StrFormat("%s_count %lld\n", pname.c_str(),
                          static_cast<long long>(e.histogram->count()));
+        break;
+      }
+      case MetricInfo::Kind::kInfo: {
+        out += StrFormat("# TYPE %s gauge\n", pname.c_str());
+        std::string labels;
+        for (const auto& [k, v] : e.labels) {
+          if (!labels.empty()) labels.push_back(',');
+          labels += StrFormat("%s=\"%s\"", k.c_str(),
+                              PrometheusLabelValue(v).c_str());
+        }
+        out += StrFormat("%s{%s} 1\n", pname.c_str(), labels.c_str());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderTextSummary() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    switch (e.info.kind) {
+      case MetricInfo::Kind::kCounter:
+        out += StrFormat("%s %lld\n", name.c_str(),
+                         static_cast<long long>(e.counter->value()));
+        break;
+      case MetricInfo::Kind::kGauge:
+        out += StrFormat("%s %s\n", name.c_str(),
+                         PrometheusNumber(e.gauge->value()).c_str());
+        break;
+      case MetricInfo::Kind::kHistogram:
+        out += StrFormat("%s %s\n", name.c_str(),
+                         e.histogram->SummaryString().c_str());
+        break;
+      case MetricInfo::Kind::kInfo: {
+        std::string labels;
+        for (const auto& [k, v] : e.labels) {
+          if (!labels.empty()) labels += ", ";
+          labels += StrFormat("%s=%s", k.c_str(), v.c_str());
+        }
+        out += StrFormat("%s [%s]\n", name.c_str(), labels.c_str());
         break;
       }
     }

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/mutex.h"
@@ -74,6 +75,14 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; the last entry is the overflow
   /// (+Inf) bucket.
   std::vector<int64_t> bucket_counts() const;
+  /// Estimated q-quantile (q in [0,1]) linearly interpolated within the
+  /// fixed buckets, à la Prometheus histogram_quantile: observations are
+  /// assumed uniform inside a bucket, the overflow bucket clamps to the
+  /// last finite bound, and an empty histogram reports 0.
+  double Quantile(double q) const;
+  /// One-line text summary: "count=N sum=S p50=A p95=B p99=C" (quantiles in
+  /// the unit the histogram observes, typically microseconds).
+  std::string SummaryString() const;
   void Reset();
 
  private:
@@ -88,7 +97,7 @@ std::vector<double> DefaultLatencyBucketsUs();
 
 /// One metric with its metadata, as rendered/snapshotted.
 struct MetricInfo {
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kInfo };
   std::string name;
   std::string help;
   Kind kind = Kind::kCounter;
@@ -108,10 +117,22 @@ class MetricsRegistry {
                           std::vector<double> upper_bounds = DefaultLatencyBucketsUs(),
                           const std::string& help = "");
 
+  /// Registers (or replaces the labels of) an *info metric*: a constant
+  /// gauge `<name>{k1="v1",...} 1` whose labels carry build/run metadata —
+  /// the Prometheus idiom for attributing a scrape to a build. Labels render
+  /// in the given order with standard label-value escaping.
+  void SetInfo(const std::string& name, const std::string& help,
+               std::vector<std::pair<std::string, std::string>> labels);
+
   /// Prometheus text exposition (0.0.4): # HELP / # TYPE headers, counters
-  /// suffixed _total, histograms as cumulative _bucket{le=...}/_sum/_count.
+  /// suffixed _total, histograms as cumulative _bucket{le=...}/_sum/_count,
+  /// info metrics as constant-1 labeled gauges.
   /// Deterministic: metrics render in name order.
   std::string RenderPrometheus() const;
+
+  /// Flat text summary (one row per metric, name order); histogram rows
+  /// carry interpolated p50/p95/p99. For --progress output and debugging.
+  std::string RenderTextSummary() const;
 
   /// Zeroes every registered value (handles stay valid). Test isolation.
   void ResetForTest();
@@ -125,6 +146,8 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    /// kInfo only: ordered label pairs rendered as {k="v",...}.
+    std::vector<std::pair<std::string, std::string>> labels;
   };
 
   /// Looks up (default-constructing on first use) the entry for `name`.

@@ -1,0 +1,219 @@
+// Cost-attribution tests: the exactness contract (statement shares are
+// bit-identical to CostModel::WorkloadCost; object and binding-drive shares
+// sum back to the total within kLayoutFractionTolerance), ordering, the
+// simulator-sampling path, and the journal event emission.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "layout/cost_model.h"
+#include "layout/search.h"
+#include "obs/attribution.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+using obs::AttributeCost;
+using obs::AttributionOptions;
+using obs::CostAttribution;
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+Database MicroDb() {
+  Database db("micro");
+  for (const char* name : {"big_a", "big_b", "solo"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 300'000;
+    t.columns = {IntKey(std::string(name) + "_k", 300'000)};
+    Column pay;
+    pay.name = std::string(name) + "_p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 120;
+    t.columns.push_back(pay);
+    t.clustered_key = {t.columns[0].name};
+    EXPECT_TRUE(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+WorkloadProfile MicroProfile(const Database& db) {
+  Workload wl("micro");
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, big_b WHERE big_a_k = big_b_k", 5).ok());
+  EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM solo").ok());
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, solo WHERE big_a_k = solo_k", 2).ok());
+  auto profile = AnalyzeWorkload(db, wl);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return std::move(profile).value();
+}
+
+std::vector<std::string> ObjectNames(const Database& db) {
+  std::vector<std::string> names;
+  for (const auto& o : db.Objects()) names.push_back(o.name);
+  return names;
+}
+
+/// Asserts the §5 decomposition invariants on one attribution: shares sum to
+/// 1 and the per-statement / per-object / binding-drive cost sums reproduce
+/// the total within kLayoutFractionTolerance (relative).
+void CheckSums(const CostAttribution& a) {
+  ASSERT_GT(a.total_ms, 0);
+  const double tol = a.total_ms * kLayoutFractionTolerance;
+  double stmt = 0, stmt_share = 0;
+  for (const auto& s : a.statements) {
+    stmt += s.cost_ms;
+    stmt_share += s.share;
+  }
+  EXPECT_NEAR(stmt, a.total_ms, tol);
+  EXPECT_NEAR(stmt_share, 1.0, kLayoutFractionTolerance);
+  double obj = 0;
+  for (const auto& o : a.objects) obj += o.cost_ms;
+  EXPECT_NEAR(obj, a.total_ms, tol);
+  double bound = 0;
+  for (const auto& d : a.drives) bound += d.bound_ms;
+  EXPECT_NEAR(bound, a.total_ms, tol);
+}
+
+TEST(AttributionTest, StatementTotalIsBitIdenticalToCostModel) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Uniform(6);
+  const Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  AttributionOptions opts;
+  opts.sample_queues = false;
+  auto attr = AttributeCost(profile, layout, fleet, db.ObjectSizes(),
+                            ObjectNames(db), opts);
+  ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+  const CostModel cm(fleet);
+  // Not approximately: the attribution accumulates in WorkloadCost's
+  // association order, so the totals are the same double.
+  EXPECT_EQ(attr->total_ms, cm.WorkloadCost(profile, layout));
+  CheckSums(*attr);
+}
+
+TEST(AttributionTest, SharesSumToTotalAcrossRandomLayouts) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Heterogeneous(6, 0.3, 42);
+  AttributionOptions opts;
+  opts.sample_queues = false;
+  for (uint64_t seed : {1u, 7u, 23u, 99u}) {
+    Rng rng(seed);
+    auto layout = RandomLayout(db, fleet, &rng);
+    ASSERT_TRUE(layout.ok()) << layout.status().ToString();
+    auto attr = AttributeCost(profile, *layout, fleet, db.ObjectSizes(),
+                              ObjectNames(db), opts);
+    ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+    CheckSums(*attr);
+  }
+}
+
+TEST(AttributionTest, OrderingAndNames) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  const Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  AttributionOptions opts;
+  opts.sample_queues = false;
+  auto attr = AttributeCost(profile, layout, fleet, db.ObjectSizes(),
+                            ObjectNames(db), opts);
+  ASSERT_TRUE(attr.ok());
+  ASSERT_EQ(attr->statements.size(), profile.statements.size());
+  for (size_t i = 1; i < attr->statements.size(); ++i) {
+    EXPECT_GE(attr->statements[i - 1].cost_ms, attr->statements[i].cost_ms);
+  }
+  ASSERT_EQ(attr->objects.size(), db.Objects().size());
+  for (size_t i = 1; i < attr->objects.size(); ++i) {
+    EXPECT_GE(attr->objects[i - 1].cost_ms, attr->objects[i].cost_ms);
+  }
+  ASSERT_EQ(attr->drives.size(), static_cast<size_t>(fleet.num_disks()));
+  for (size_t j = 0; j < attr->drives.size(); ++j) {
+    EXPECT_EQ(attr->drives[j].drive, static_cast<int>(j));
+    EXPECT_EQ(attr->drives[j].name, fleet.disk(static_cast<int>(j)).name);
+  }
+  // Full striping busies every drive equally; utilization is normalized to
+  // the hottest drive.
+  for (const auto& d : attr->drives) EXPECT_NEAR(d.utilization, 1.0, 1e-9);
+}
+
+TEST(AttributionTest, QueueSamplingFillsSimFields) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  const Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  auto attr = AttributeCost(profile, layout, fleet, db.ObjectSizes(),
+                            ObjectNames(db));  // sample_queues defaults on
+  ASSERT_TRUE(attr.ok()) << attr.status().ToString();
+  CheckSums(*attr);
+  bool any_requests = false;
+  for (const auto& d : attr->drives) {
+    any_requests |= d.queue_requests > 0;
+    if (d.queue_requests > 0) {
+      EXPECT_GE(d.queue_depth_mean, 1.0);
+      EXPECT_GE(d.queue_depth_max, 1);
+    }
+  }
+  EXPECT_TRUE(any_requests);
+  // Deterministic: the same seed samples the same queues.
+  auto again = AttributeCost(profile, layout, fleet, db.ObjectSizes(),
+                             ObjectNames(db));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(obs::AttributionJson(*attr), obs::AttributionJson(*again));
+}
+
+TEST(AttributionTest, JournalEventsParseAndMatchTables) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Uniform(4);
+  const Layout layout =
+      Layout::FullStriping(static_cast<int>(db.Objects().size()), fleet);
+  AttributionOptions opts;
+  opts.sample_queues = false;
+  auto attr = AttributeCost(profile, layout, fleet, db.ObjectSizes(),
+                            ObjectNames(db), opts);
+  ASSERT_TRUE(attr.ok());
+  obs::EventJournal journal;
+  AppendAttributionEvents(*attr, &journal, /*top_k=*/2);
+  const std::string text = journal.Serialize();
+  size_t pos = 0;
+  int statements = 0, objects = 0, drives = 0;
+  double total = -1;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    auto parsed = obs::ParseJson(text.substr(pos, nl - pos));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    pos = nl + 1;
+    const std::string type = parsed.value().StringOr("ev", "");
+    if (type == "attribution") total = parsed.value().NumberOr("total_ms", -1);
+    statements += type == "statement";
+    objects += type == "object";
+    drives += type == "drive";
+  }
+  EXPECT_EQ(total, attr->total_ms);
+  EXPECT_EQ(statements, 2);  // top_k caps the statement table
+  EXPECT_EQ(drives, fleet.num_disks());
+  EXPECT_GT(objects, 0);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -1,0 +1,234 @@
+// EventJournal tests: the thread-count byte-identity contract of the search
+// journal, shard-merge determinism, wall-clock opt-in fields, value
+// serialization, and JSONL well-formedness (every line re-parses).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "layout/search.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+#include "workload/analyzer.h"
+
+namespace dblayout {
+namespace {
+
+using obs::EventJournal;
+using obs::JournalFields;
+using obs::JsonValue;
+
+Column IntKey(const std::string& name, int64_t distinct) {
+  Column c;
+  c.name = name;
+  c.type = ColumnType::kInt;
+  c.distinct_count = distinct;
+  c.min_value = 1;
+  c.max_value = static_cast<double>(distinct);
+  return c;
+}
+
+/// Two co-accessed large tables and one independent table (the same micro
+/// instance the search and evaluator tests use).
+Database MicroDb() {
+  Database db("micro");
+  for (const char* name : {"big_a", "big_b", "solo"}) {
+    Table t;
+    t.name = name;
+    t.row_count = 300'000;
+    t.columns = {IntKey(std::string(name) + "_k", 300'000)};
+    Column pay;
+    pay.name = std::string(name) + "_p";
+    pay.type = ColumnType::kChar;
+    pay.declared_length = 120;
+    t.columns.push_back(pay);
+    t.clustered_key = {t.columns[0].name};
+    EXPECT_TRUE(db.AddTable(t).ok());
+  }
+  return db;
+}
+
+WorkloadProfile MicroProfile(const Database& db) {
+  Workload wl("micro");
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, big_b WHERE big_a_k = big_b_k", 5).ok());
+  EXPECT_TRUE(wl.Add("SELECT COUNT(*) FROM solo").ok());
+  EXPECT_TRUE(
+      wl.Add("SELECT COUNT(*) FROM big_a, solo WHERE big_a_k = solo_k", 2).ok());
+  auto profile = AnalyzeWorkload(db, wl);
+  EXPECT_TRUE(profile.ok()) << profile.status().ToString();
+  return std::move(profile).value();
+}
+
+ResolvedConstraints NoConstraints(const Database& db) {
+  ResolvedConstraints rc;
+  rc.required_avail.assign(db.Objects().size(), std::nullopt);
+  return rc;
+}
+
+/// Runs the greedy search with a fresh journal attached and returns the
+/// serialized journal.
+std::string SearchJournal(int num_threads) {
+  Database db = MicroDb();
+  WorkloadProfile profile = MicroProfile(db);
+  DiskFleet fleet = DiskFleet::Uniform(6);
+  EventJournal journal;
+  SearchOptions opts;
+  opts.num_threads = num_threads;
+  opts.journal = &journal;
+  TsGreedySearch search(db, fleet, opts);
+  auto result = search.Run(profile, NoConstraints(db));
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return journal.Serialize();
+}
+
+TEST(JournalTest, ByteIdenticalAcrossThreadCounts) {
+  // The headline contract (DESIGN.md §10): a default-mode journal is a pure
+  // function of the run's inputs, so the thread count must not leak into a
+  // single byte. The search-level journal has no run_start envelope (the CLI
+  // owns it), so the whole stream must match.
+  const std::string one = SearchJournal(1);
+  const std::string four = SearchJournal(4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+}
+
+TEST(JournalTest, EveryLineParsesAndCarriesEventType) {
+  const std::string text = SearchJournal(2);
+  size_t pos = 0;
+  int lines = 0;
+  bool saw_search_start = false, saw_eval = false, saw_decision = false,
+       saw_iter_end = false, saw_bind = false;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "journal must end with a newline";
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lines;
+    auto parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+    const JsonValue& ev = parsed.value();
+    ASSERT_TRUE(ev.is_object());
+    const std::string type = ev.StringOr("ev", "");
+    EXPECT_FALSE(type.empty()) << line;
+    // Default (logical-clock) mode must not emit any wall-clock field.
+    EXPECT_EQ(ev.Find("t_us"), nullptr) << line;
+    EXPECT_EQ(ev.Find("eval_ns"), nullptr) << line;
+    saw_search_start |= type == "search_start";
+    saw_eval |= type == "eval";
+    saw_decision |= type == "decision";
+    saw_iter_end |= type == "iter_end";
+    saw_bind |= type == "bind";
+  }
+  EXPECT_GT(lines, 10);
+  EXPECT_TRUE(saw_bind);
+  EXPECT_TRUE(saw_search_start);
+  EXPECT_TRUE(saw_eval);
+  EXPECT_TRUE(saw_decision);
+  EXPECT_TRUE(saw_iter_end);
+}
+
+TEST(JournalTest, DecisionEventsAreInternallyConsistent) {
+  const std::string text = SearchJournal(3);
+  size_t pos = 0;
+  int accepted = 0;
+  double last_accepted_cost = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    auto parsed = obs::ParseJson(line);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue& ev = parsed.value();
+    if (ev.StringOr("ev", "") != "decision") continue;
+    const std::string reason = ev.StringOr("reason", "");
+    if (ev.BoolOr("accepted", false)) {
+      ++accepted;
+      EXPECT_EQ(reason, "improved") << line;
+      // delta = candidate cost - pre-move cost, so accepting means delta < 0.
+      EXPECT_LT(ev.NumberOr("delta", 0), 0) << line;
+      last_accepted_cost = ev.NumberOr("cost", 0);
+    } else {
+      EXPECT_TRUE(reason == "outscored" || reason == "not_improving") << line;
+    }
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(last_accepted_cost, 0);
+}
+
+TEST(JournalTest, WallClockModeAddsTimestamps) {
+  EventJournal journal(obs::JournalOptions{/*wall_clock=*/true});
+  EXPECT_TRUE(journal.wall_clock());
+  journal.Append("probe", {{"k", obs::JsonInt(1)}});
+  const std::string text = journal.Serialize();
+  auto parsed = obs::ParseJson(text.substr(0, text.find('\n')));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_NE(parsed.value().Find("t_us"), nullptr);
+  EXPECT_EQ(parsed.value().IntOr("k", 0), 1);
+}
+
+TEST(JournalTest, MergeShardsIsWorkerAssignmentInvariant) {
+  // The same (key, event) set buffered under two different worker
+  // assignments must merge to identical journals.
+  auto build = [](const std::vector<int>& worker_of_candidate) {
+    EventJournal journal;
+    std::vector<EventJournal::Shard> shards(3);
+    for (size_t cand = 0; cand < worker_of_candidate.size(); ++cand) {
+      shards[static_cast<size_t>(worker_of_candidate[cand])].Append(
+          static_cast<int64_t>(cand), "eval",
+          {{"cand", obs::JsonInt(static_cast<int64_t>(cand))}});
+    }
+    journal.MergeShards(&shards);
+    for (const auto& s : shards) EXPECT_TRUE(s.empty());
+    return journal.Serialize();
+  };
+  const std::string a = build({0, 0, 1, 1, 2, 2});
+  const std::string b = build({2, 1, 0, 2, 1, 0});
+  EXPECT_EQ(a, b);
+  // And the merged order is ascending by key.
+  size_t pos = 0;
+  int64_t expect = 0;
+  while (pos < a.size()) {
+    const size_t nl = a.find('\n', pos);
+    auto parsed = obs::ParseJson(a.substr(pos, nl - pos));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().IntOr("cand", -1), expect++);
+    pos = nl + 1;
+  }
+  EXPECT_EQ(expect, 6);
+}
+
+TEST(JournalTest, ValueSerializationIsDeterministicJson) {
+  EXPECT_EQ(obs::JsonString("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(obs::JsonBool(true), "true");
+  EXPECT_EQ(obs::JsonInt(-42), "-42");
+  EXPECT_EQ(obs::JsonIntArray({1, 2, 3}), "[1,2,3]");
+  EXPECT_EQ(obs::JsonIntArray({}), "[]");
+  // Doubles round-trip exactly through the emitted representation.
+  for (double v : {0.0, 1.5, 1.0 / 3.0, 42782.048998860795, -1e-9, 1e300}) {
+    const std::string s = obs::JsonDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(JournalTest, AppendIsThreadSafeAndCounts) {
+  EventJournal journal;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Append("tick", {{"t", obs::JsonInt(t)}});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(journal.event_count(), 4 * kPerThread);
+}
+
+}  // namespace
+}  // namespace dblayout

@@ -158,6 +158,85 @@ TEST_F(ObsTest, PrometheusRendering) {
   EXPECT_EQ(text, reg.RenderPrometheus());
 }
 
+TEST_F(ObsTest, HistogramQuantiles) {
+  obs::SetEnabled(true);
+  obs::Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test/quantile_hist", {10.0, 100.0, 1000.0});
+  // Empty histogram: all quantiles report 0.
+  EXPECT_EQ(h->Quantile(0.5), 0);
+  EXPECT_EQ(h->Quantile(0.99), 0);
+  // 100 observations uniform in (0, 10]: interpolation within the first
+  // bucket makes pN land at bound * N/100.
+  for (int i = 0; i < 100; ++i) h->Observe(5.0);
+  EXPECT_NEAR(h->Quantile(0.50), 5.0, 1e-9);
+  EXPECT_NEAR(h->Quantile(0.95), 9.5, 1e-9);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_NEAR(h->Quantile(-1), h->Quantile(0), 1e-9);
+  EXPECT_NEAR(h->Quantile(2), h->Quantile(1), 1e-9);
+  // Mass in the overflow bucket clamps to the last finite bound (the
+  // histogram_quantile convention: a floor, not fabricated mass).
+  for (int i = 0; i < 900; ++i) h->Observe(5000.0);
+  EXPECT_EQ(h->Quantile(0.99), 1000.0);
+  // p50 still interpolates: rank 500 of 1000 falls in the overflow bucket
+  // only past the first 100 observations.
+  EXPECT_EQ(h->Quantile(0.05), 5.0);
+
+  const std::string summary = h->SummaryString();
+  EXPECT_NE(summary.find("count=1000"), std::string::npos);
+  EXPECT_NE(summary.find("p50="), std::string::npos);
+  EXPECT_NE(summary.find("p95="), std::string::npos);
+  EXPECT_NE(summary.find("p99=1000"), std::string::npos);
+}
+
+TEST_F(ObsTest, InfoMetricRendering) {
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Label values with characters needing exposition-format escaping.
+  reg.SetInfo("test/build_meta", "build metadata",
+              {{"git_sha", "abc123"},
+               {"flags", "-O2 \"fast\""},
+               {"note", "line\nbreak\\slash"}});
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE dblayout_test_build_meta gauge"),
+            std::string::npos);
+  // Labels render in insertion order, value 1, escaped quotes/newlines.
+  EXPECT_NE(
+      text.find("dblayout_test_build_meta{git_sha=\"abc123\","
+                "flags=\"-O2 \\\"fast\\\"\",note=\"line\\nbreak\\\\slash\"} 1"),
+      std::string::npos);
+  // SetInfo replaces labels in place (a re-stamp with a new seed updates the
+  // same family).
+  reg.SetInfo("test/build_meta", "build metadata", {{"seed", "7"}});
+  const std::string again = reg.RenderPrometheus();
+  EXPECT_NE(again.find("dblayout_test_build_meta{seed=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(again.find("git_sha"), std::string::npos);
+  // And the flat text summary shows the labels too.
+  EXPECT_NE(reg.RenderTextSummary().find("test/build_meta [seed=7]"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PrometheusExpositionEdgeCases) {
+  obs::SetEnabled(true);
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  // Name mangling: slashes, dashes, and dots become underscores under the
+  // dblayout_ prefix.
+  reg.GetCounter("test/sub-system/odd.name")->Add(1);
+  const std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("dblayout_test_sub_system_odd_name_total 1"),
+            std::string::npos);
+  // A histogram with no observations still renders a complete family:
+  // cumulative buckets all 0, +Inf present, sum and count 0.
+  reg.GetHistogram("test/empty_hist", {1.0, 2.0});
+  const std::string with_hist = reg.RenderPrometheus();
+  EXPECT_NE(with_hist.find("dblayout_test_empty_hist_bucket{le=\"+Inf\"} 0"),
+            std::string::npos);
+  EXPECT_NE(with_hist.find("dblayout_test_empty_hist_sum 0"),
+            std::string::npos);
+  EXPECT_NE(with_hist.find("dblayout_test_empty_hist_count 0"),
+            std::string::npos);
+}
+
 // --- Trace spans -----------------------------------------------------------
 
 /// Installs a fake clock that advances `step_ns` per NowNs() call.

@@ -20,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -31,6 +32,9 @@
 #include "layout/advisor.h"
 #include "layout/filegroup_script.h"
 #include "lint/lint.h"
+#include "obs/attribution.h"
+#include "obs/build_info.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resilience/degraded.h"
@@ -61,6 +65,7 @@ int Usage(const char* argv0) {
                "          [--concurrency] [--save-layout FILE] [--evaluate FILE]\n"
                "          [--lint] [--format text|json|sarif] [--fail-on note|warn|error]\n"
                "          [--metrics-out FILE] [--trace-out FILE] [--progress]\n"
+               "          [--journal-out FILE] [--journal-wall-clock] [--report]\n"
                "          [--fault-plan FILE] [--resilience-report]\n"
                "          [--evacuate DRIVE] [--time-budget-ms MS]\n"
                "          [--threads N] [--seed N] [--tpch [SCALE]]\n",
@@ -189,7 +194,9 @@ int main(int argc, char** argv) {
   std::string format = "text", fail_on = "error";
   std::string save_layout_path, evaluate_path;
   double max_move = -1;
-  std::string metrics_out, trace_out;
+  std::string metrics_out, trace_out, journal_out;
+  bool journal_wall_clock = false;
+  bool report = false;
   bool progress = false;
   uint64_t seed = 0;
   bool tpch = false;
@@ -304,6 +311,16 @@ int main(int argc, char** argv) {
       trace_out = v;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(12);
+    } else if (arg == "--journal-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      journal_out = v;
+    } else if (arg.rfind("--journal-out=", 0) == 0) {
+      journal_out = arg.substr(14);
+    } else if (arg == "--journal-wall-clock") {
+      journal_wall_clock = true;
+    } else if (arg == "--report") {
+      report = true;
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--fault-plan") {
@@ -377,6 +394,10 @@ int main(int argc, char** argv) {
   SetGlobalSeed(seed);
   if (!metrics_out.empty() || !trace_out.empty() || progress) {
     obs::SetEnabled(true);
+    // Satellite of the journal/report surface: build metadata (git SHA,
+    // compiler, flags) plus this run's seed and thread count become a
+    // Prometheus info metric and Chrome-trace metadata.
+    obs::StampRunMetadata(seed, num_threads);
   }
   if (!trace_out.empty()) {
     obs::Tracer::Global().SetEnabled(true);
@@ -456,6 +477,39 @@ int main(int argc, char** argv) {
   if (!fleet.ok()) return fail_input("disks", fleet.status());
   std::printf("drives:\n%s\n", fleet->ToString().c_str());
 
+  // Decision journal: the CLI owns the run_start/run_end envelope; the
+  // advisor, search, and evaluator emit the events in between (see
+  // SearchOptions::journal). Line 1 records everything allowed to differ
+  // between equivalent runs (thread count, build); every later line is
+  // byte-identical across --threads values unless --journal-wall-clock
+  // trades that for real timings.
+  std::unique_ptr<obs::EventJournal> journal;
+  if (!journal_out.empty() || report) {
+    obs::JournalOptions jopts;
+    jopts.wall_clock = journal_wall_clock;
+    journal = std::make_unique<obs::EventJournal>(jopts);
+    const obs::BuildInfo& build = obs::GetBuildInfo();
+    journal->Append(
+        "run_start",
+        {{"v", obs::JsonInt(obs::kJournalSchemaVersion)},
+         {"tool", obs::JsonString("dblayout_cli")},
+         {"seed", obs::JsonInt(static_cast<int64_t>(seed))},
+         {"threads", obs::JsonInt(num_threads)},
+         {"schema", obs::JsonString(tpch ? StrFormat("tpch sf=%g", tpch_scale)
+                                         : schema_path)},
+         {"workload",
+          obs::JsonString(tpch ? "tpch-22"
+                               : (!trace_path.empty() ? trace_path
+                                                      : workload_path))},
+         {"objects", obs::JsonInt(static_cast<int64_t>(db->Objects().size()))},
+         {"drives", obs::JsonInt(fleet->num_disks())},
+         {"git_sha", obs::JsonString(build.git_sha)},
+         {"compiler", obs::JsonString(build.compiler)},
+         {"build_type", obs::JsonString(build.build_type)},
+         {"build_flags", obs::JsonString(build.flags)}});
+    options.search.journal = journal.get();
+  }
+
   Layout current;
   if (max_move >= 0) {
     current = Layout::FullStriping(static_cast<int>(db->Objects().size()),
@@ -501,6 +555,28 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> object_names;
   for (const auto& o : db->Objects()) object_names.push_back(o.name);
+
+  if (report) {
+    // Exact cost attribution of the recommended layout: per-statement/
+    // object/drive shares of the advisor's estimated cost, plus drive-heat
+    // and queue-depth samples from the simulators. If queue sampling cannot
+    // materialize the layout, fall back to the pure decomposition.
+    obs::AttributionOptions aopts;
+    aopts.seed = seed != 0 ? seed : 1;
+    auto attr = obs::AttributeCost(profile.value(), rec->layout, fleet.value(),
+                                   db->ObjectSizes(), object_names, aopts);
+    if (!attr.ok()) {
+      aopts.sample_queues = false;
+      attr = obs::AttributeCost(profile.value(), rec->layout, fleet.value(),
+                                db->ObjectSizes(), object_names, aopts);
+    }
+    if (!attr.ok()) return fail("report", attr.status());
+    std::printf("%s\n", obs::RenderAttributionText(attr.value()).c_str());
+    if (journal != nullptr) {
+      obs::AppendAttributionEvents(attr.value(), journal.get());
+    }
+  }
+
   if (!save_layout_path.empty()) {
     std::ofstream out(save_layout_path);
     if (!out) return fail("save-layout", Status::Internal("cannot write file"));
@@ -645,6 +721,25 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (journal != nullptr) {
+    journal->Append(
+        "run_end",
+        {{"status", obs::JsonString("ok")},
+         {"cost", obs::JsonDouble(rec->estimated_cost_ms)},
+         {"full_striping_cost", obs::JsonDouble(rec->full_striping_cost_ms)},
+         {"improvement_pct",
+          obs::JsonDouble(rec->ImprovementVsFullStripingPct())},
+         {"iterations", obs::JsonInt(rec->greedy_iterations)},
+         {"evals", obs::JsonInt(rec->layouts_evaluated)},
+         {"timed_out", obs::JsonBool(rec->timed_out)}});
+    if (!journal_out.empty()) {
+      if (Status st = journal->WriteFile(journal_out); !st.ok()) {
+        return fail("journal-out", st);
+      }
+      std::printf("journal written to %s (%lld events)\n", journal_out.c_str(),
+                  static_cast<long long>(journal->event_count()));
+    }
   }
   return 0;
 }

@@ -1,0 +1,397 @@
+// dblayout_report — run reports over dblayout_cli --journal-out journals,
+// plus A/B regression comparison over two BENCH_*.json files.
+//
+// Usage:
+//   dblayout_report --journal FILE [--top N]
+//       Renders a run report from a JSONL decision journal: the run
+//       envelope, the acceptance funnel by move kind, the cost trajectory,
+//       the per-phase wall-clock breakdown (wall-clock journals only), and
+//       the top-k hot statements/objects/drives when the journal carries
+//       attribution events (dblayout_cli --report --journal-out).
+//   dblayout_report --compare BASE.json CAND.json [--threshold-pct P]
+//       Compares two bench record files case by case over their shared
+//       lower-is-better numeric fields (keys ending in _ms/_s or containing
+//       "cost"). A candidate value exceeding base * (1 + P/100) is a
+//       regression. P defaults to 5.
+//
+// Exit codes: 0 clean, 1 regression found (--compare only), 2 unusable
+// inputs (unreadable files, malformed JSON, unsupported schema version).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/strutil.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+
+using namespace dblayout;
+using obs::JsonValue;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --journal FILE [--top N]\n"
+               "       %s --compare BASE.json CAND.json [--threshold-pct P]\n",
+               argv0, argv0);
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int InputFail(const char* what, const Status& st) {
+  std::fprintf(stderr, "dblayout_report: %s: %s\n", what, st.ToString().c_str());
+  return 2;
+}
+
+/// Per-move-kind funnel counters accumulated over the journal.
+struct MoveFunnel {
+  int64_t considered = 0;  ///< decision events (candidates that were scored)
+  int64_t accepted = 0;
+  int64_t rejected_capacity = 0;   ///< pre-check rejects, never scored
+  int64_t rejected_movement = 0;
+};
+
+std::string Pct(double num, double den) {
+  return den > 0 ? StrFormat("%.1f%%", 100.0 * num / den) : std::string("-");
+}
+
+/// `dblayout_report --journal`: one pass over the JSONL lines, then render.
+int RunJournalReport(const std::string& path, int top_k) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return InputFail("journal", text.status());
+
+  std::map<std::string, MoveFunnel> funnel;  // ordered for stable output
+  std::vector<std::pair<std::string, double>> phases;  // (name, ms or -1)
+  // Trajectory: cost after the initial bind and after every accepted move.
+  std::vector<double> trajectory;
+  int64_t events = 0, evals = 0, iterations = 0;
+  double eval_ns_total = 0;
+  int64_t eval_ns_count = 0;
+  JsonValue run_start, run_end;
+  bool saw_run_start = false, saw_run_end = false;
+  // Attribution tables (present when the journal was written with --report).
+  double attributed_total_ms = -1;
+  std::vector<std::pair<std::string, JsonValue>> statements, objects, drives;
+
+  std::istringstream lines(text.value());
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto parsed = obs::ParseJson(line);
+    if (!parsed.ok()) {
+      return InputFail(StrFormat("journal line %d", lineno).c_str(),
+                       parsed.status());
+    }
+    const JsonValue& ev = parsed.value();
+    const std::string type = ev.StringOr("ev", "");
+    ++events;
+    if (type == "run_start") {
+      const int64_t v = ev.IntOr("v", 0);
+      if (v > obs::kJournalSchemaVersion) {
+        return InputFail(
+            "journal",
+            Status::InvalidArgument(StrFormat(
+                "schema version %lld postdates this tool (max %d); rebuild "
+                "dblayout_report",
+                static_cast<long long>(v), obs::kJournalSchemaVersion)));
+      }
+      run_start = ev;
+      saw_run_start = true;
+    } else if (type == "run_end") {
+      run_end = ev;
+      saw_run_end = true;
+    } else if (type == "bind") {
+      if (trajectory.empty()) trajectory.push_back(ev.NumberOr("cost", 0));
+    } else if (type == "phase") {
+      phases.emplace_back(ev.StringOr("name", "?"), ev.NumberOr("ms", -1));
+    } else if (type == "reject") {
+      MoveFunnel& f = funnel[ev.StringOr("move", "?")];
+      if (ev.StringOr("reason", "") == "capacity") {
+        ++f.rejected_capacity;
+      } else {
+        ++f.rejected_movement;
+      }
+    } else if (type == "eval") {
+      ++evals;
+      if (const JsonValue* ns = ev.Find("eval_ns");
+          ns != nullptr && ns->is_number()) {
+        eval_ns_total += ns->number_value();
+        ++eval_ns_count;
+      }
+    } else if (type == "decision") {
+      MoveFunnel& f = funnel[ev.StringOr("move", "?")];
+      ++f.considered;
+      if (ev.BoolOr("accepted", false)) {
+        ++f.accepted;
+        trajectory.push_back(ev.NumberOr("cost", 0));
+      }
+    } else if (type == "iter_end") {
+      iterations = std::max(iterations, ev.IntOr("iter", 0) + 1);
+    } else if (type == "attribution") {
+      attributed_total_ms = ev.NumberOr("total_ms", -1);
+    } else if (type == "statement") {
+      statements.emplace_back("", ev);
+    } else if (type == "object") {
+      objects.emplace_back("", ev);
+    } else if (type == "drive") {
+      drives.emplace_back("", ev);
+    }
+  }
+  if (!saw_run_start) {
+    return InputFail("journal", Status::InvalidArgument(
+                                    "no run_start envelope (not a journal?)"));
+  }
+
+  std::printf("run report: %s (%lld events)\n", path.c_str(),
+              static_cast<long long>(events));
+  std::printf(
+      "  tool %s, schema v%lld, seed %lld, threads %lld\n",
+      run_start.StringOr("tool", "?").c_str(),
+      static_cast<long long>(run_start.IntOr("v", 0)),
+      static_cast<long long>(run_start.IntOr("seed", 0)),
+      static_cast<long long>(run_start.IntOr("threads", 0)));
+  std::printf("  build %s (%s, %s)\n",
+              run_start.StringOr("git_sha", "unknown").c_str(),
+              run_start.StringOr("compiler", "?").c_str(),
+              run_start.StringOr("build_type", "?").c_str());
+  std::printf("  workload %s: %lld objects on %lld drives\n",
+              run_start.StringOr("workload", "?").c_str(),
+              static_cast<long long>(run_start.IntOr("objects", 0)),
+              static_cast<long long>(run_start.IntOr("drives", 0)));
+
+  std::printf("\nacceptance funnel (%lld iterations, %lld candidate evals):\n",
+              static_cast<long long>(iterations), static_cast<long long>(evals));
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"move", "pre-rejected", "scored", "accepted", "accept%"});
+  for (const auto& [move, f] : funnel) {
+    rows.push_back(
+        {move,
+         StrFormat("%lld", static_cast<long long>(f.rejected_capacity +
+                                                  f.rejected_movement)),
+         StrFormat("%lld", static_cast<long long>(f.considered)),
+         StrFormat("%lld", static_cast<long long>(f.accepted)),
+         Pct(static_cast<double>(f.accepted),
+             static_cast<double>(f.considered))});
+  }
+  std::fputs(RenderTable(rows).c_str(), stdout);
+  if (eval_ns_count > 0) {
+    std::printf("mean candidate eval: %.0f ns over %lld timed evals\n",
+                eval_ns_total / static_cast<double>(eval_ns_count),
+                static_cast<long long>(eval_ns_count));
+  }
+
+  if (!trajectory.empty()) {
+    const double first = trajectory.front();
+    const double last = trajectory.back();
+    std::printf("\ncost trajectory: %.0f ms -> %.0f ms over %zu accepted "
+                "moves (%s improvement)\n",
+                first, last, trajectory.size() - 1,
+                Pct(first - last, first).c_str());
+  }
+
+  std::printf("\nphase wall-clock breakdown:\n");
+  if (phases.empty()) {
+    std::printf("  (no phase events in this journal)\n");
+  } else {
+    double total = 0;
+    bool timed = false;
+    for (const auto& [name, ms] : phases) {
+      if (ms >= 0) {
+        total += ms;
+        timed = true;
+      }
+    }
+    for (const auto& [name, ms] : phases) {
+      if (ms >= 0) {
+        std::printf("  %-10s %10.2f ms  %s\n", name.c_str(), ms,
+                    Pct(ms, total).c_str());
+      } else {
+        // Logical-clock journals record the phase sequence but not
+        // durations; re-run with --journal-wall-clock for timings.
+        std::printf("  %-10s        n/a\n", name.c_str());
+      }
+    }
+    if (timed) std::printf("  %-10s %10.2f ms\n", "total", total);
+  }
+
+  if (attributed_total_ms >= 0) {
+    std::printf("\ncost attribution (total %.0f ms):\n", attributed_total_ms);
+    rows.assign(1, {"top statements", "weight", "cost(ms)", "share"});
+    int shown = 0;
+    for (const auto& [unused, s] : statements) {
+      if (shown++ >= top_k) break;
+      rows.push_back({s.StringOr("sql", "?"),
+                      StrFormat("%.0f", s.NumberOr("weight", 0)),
+                      StrFormat("%.1f", s.NumberOr("cost_ms", 0)),
+                      Pct(s.NumberOr("share", 0), 1.0)});
+    }
+    std::fputs(RenderTable(rows).c_str(), stdout);
+    rows.assign(1, {"drive", "bound(ms)", "busy(ms)", "util", "queue-depth"});
+    for (const auto& [unused, d] : drives) {
+      rows.push_back({d.StringOr("name", "?"),
+                      StrFormat("%.1f", d.NumberOr("bound_ms", 0)),
+                      StrFormat("%.1f", d.NumberOr("busy_ms", 0)),
+                      Pct(d.NumberOr("utilization", 0), 1.0),
+                      StrFormat("%.1f/%lld", d.NumberOr("queue_depth_mean", 0),
+                                static_cast<long long>(
+                                    d.IntOr("queue_depth_max", 0)))});
+    }
+    std::fputs(RenderTable(rows).c_str(), stdout);
+  }
+
+  if (saw_run_end) {
+    std::printf("\nrun_end: status %s, cost %.0f ms, improvement %.1f%%, "
+                "%lld iterations, %lld evals%s\n",
+                run_end.StringOr("status", "?").c_str(),
+                run_end.NumberOr("cost", 0),
+                run_end.NumberOr("improvement_pct", 0),
+                static_cast<long long>(run_end.IntOr("iterations", 0)),
+                static_cast<long long>(run_end.IntOr("evals", 0)),
+                run_end.BoolOr("timed_out", false) ? " (TIMED OUT)" : "");
+  } else {
+    std::printf("\nWARNING: no run_end envelope — truncated journal?\n");
+  }
+  return 0;
+}
+
+/// Lower-is-better regression fields of a bench record: wall-clock and cost
+/// metrics. Counters like evals or iterations are informational, not gates.
+bool LowerIsBetter(const std::string& key) {
+  auto ends_with = [&key](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return key.size() >= n && key.compare(key.size() - n, n, suffix) == 0;
+  };
+  return ends_with("_ms") || ends_with("_s") ||
+         key.find("cost") != std::string::npos;
+}
+
+/// Loads {"bench":..., "records":[...]} and indexes the records by "case".
+Result<std::map<std::string, JsonValue>> LoadBenchRecords(
+    const std::string& path) {
+  DBLAYOUT_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  DBLAYOUT_ASSIGN_OR_RETURN(JsonValue doc, obs::ParseJson(text));
+  const JsonValue* records = doc.Find("records");
+  if (records == nullptr || !records->is_array()) {
+    return Status::InvalidArgument("'" + path +
+                                   "' has no \"records\" array (not a "
+                                   "BENCH_*.json file?)");
+  }
+  std::map<std::string, JsonValue> by_case;
+  for (const JsonValue& rec : records->array()) {
+    by_case.emplace(rec.StringOr("case", "?"), rec);
+  }
+  return by_case;
+}
+
+/// `dblayout_report --compare`: exit 1 when any shared lower-is-better
+/// metric of any shared case regresses beyond the threshold.
+int RunCompare(const std::string& base_path, const std::string& cand_path,
+               double threshold_pct) {
+  auto base = LoadBenchRecords(base_path);
+  if (!base.ok()) return InputFail("base", base.status());
+  auto cand = LoadBenchRecords(cand_path);
+  if (!cand.ok()) return InputFail("candidate", cand.status());
+
+  int64_t compared = 0, regressions = 0, improvements = 0;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"case", "metric", "base", "candidate", "delta", "verdict"});
+  for (const auto& [case_name, base_rec] : base.value()) {
+    const auto it = cand.value().find(case_name);
+    if (it == cand.value().end()) {
+      std::fprintf(stderr, "note: case '%s' missing from candidate; skipped\n",
+                   case_name.c_str());
+      continue;
+    }
+    for (const auto& [key, base_val] : base_rec.object()) {
+      if (!base_val.is_number() || !LowerIsBetter(key)) continue;
+      const JsonValue* cand_val = it->second.Find(key);
+      if (cand_val == nullptr || !cand_val->is_number()) continue;
+      const double b = base_val.number_value();
+      const double c = cand_val->number_value();
+      ++compared;
+      const bool regressed = b >= 0 && c > b * (1.0 + threshold_pct / 100.0);
+      const bool improved = b > 0 && c < b * (1.0 - threshold_pct / 100.0);
+      if (regressed) ++regressions;
+      if (improved) ++improvements;
+      if (regressed || improved) {
+        rows.push_back({case_name, key, StrFormat("%.4g", b),
+                        StrFormat("%.4g", c), Pct(c - b, b),
+                        regressed ? "REGRESSED" : "improved"});
+      }
+    }
+  }
+  if (rows.size() > 1) std::fputs(RenderTable(rows).c_str(), stdout);
+  std::printf("compared %lld metrics at ±%.1f%%: %lld regressed, %lld "
+              "improved\n",
+              static_cast<long long>(compared), threshold_pct,
+              static_cast<long long>(regressions),
+              static_cast<long long>(improvements));
+  return regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path, base_path, cand_path;
+  double threshold_pct = 5.0;
+  int top_k = 10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--journal") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      journal_path = v;
+    } else if (arg.rfind("--journal=", 0) == 0) {
+      journal_path = arg.substr(10);
+    } else if (arg == "--compare") {
+      const char* b = next();
+      const char* c = next();
+      if (!b || !c) return Usage(argv[0]);
+      base_path = b;
+      cand_path = c;
+    } else if (arg == "--threshold-pct") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      threshold_pct = std::strtod(v, nullptr);
+    } else if (arg.rfind("--threshold-pct=", 0) == 0) {
+      threshold_pct = std::strtod(arg.c_str() + 16, nullptr);
+    } else if (arg == "--top") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      top_k = std::atoi(v);
+    } else if (arg.rfind("--top=", 0) == 0) {
+      top_k = std::atoi(arg.c_str() + 6);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (!journal_path.empty() && base_path.empty()) {
+    return RunJournalReport(journal_path, top_k);
+  }
+  if (journal_path.empty() && !base_path.empty()) {
+    return RunCompare(base_path, cand_path, threshold_pct);
+  }
+  return Usage(argv[0]);
+}

@@ -31,6 +31,7 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 [[ -n "${CLI}" && -x "${CLI}" ]] || { echo "usage: $0 --cli PATH_TO_dblayout_cli" >&2; exit 2; }
+mkdir -p "${OUT}"
 
 log()  { printf '\n== %s ==\n' "$*"; }
 fail() { echo "OBS DRIVER FAILED: $*" >&2; exit 1; }
@@ -99,5 +100,27 @@ log "example schema/workload run with telemetry on"
   --disks "${DATA}/disks.txt" --trace-out "${OUT}/trace_examples.json" \
   >/dev/null 2>&1 || fail "example-data telemetry run exited non-zero"
 [[ -s "${OUT}/trace_examples.json" ]] || fail "example trace file missing"
+
+log "metrics carry the build/run info metric"
+grep -q '^dblayout_build_info{' "${METRICS}" \
+  || fail "dblayout_build_info metric missing from ${METRICS}"
+grep '^dblayout_build_info{' "${METRICS}" | grep -q 'seed="42"' \
+  || fail "info metric does not carry the run seed"
+
+log "decision journal: envelope + run_end, byte-identical re-run"
+JOURNAL="${OUT}/journal.jsonl"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 \
+  --journal-out "${JOURNAL}" >/dev/null 2>&1 \
+  || fail "journal run exited non-zero"
+[[ -s "${JOURNAL}" ]] || fail "journal file missing or empty: ${JOURNAL}"
+head -1 "${JOURNAL}" | grep -q '"ev":"run_start"' \
+  || fail "journal does not open with the run_start envelope"
+tail -1 "${JOURNAL}" | grep -q '"ev":"run_end"' \
+  || fail "journal does not close with the run_end envelope"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 \
+  --journal-out "${OUT}/journal2.jsonl" >/dev/null 2>&1 \
+  || fail "second journal run exited non-zero"
+cmp -s "${JOURNAL}" "${OUT}/journal2.jsonl" \
+  || fail "identical seeded runs produced different journals"
 
 log "obs pass complete"

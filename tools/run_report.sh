@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Journal + report driver: exercises the search observatory end to end,
+# asserting:
+#
+#   1. journal determinism — fixed-seed runs at --threads 1 and --threads 4
+#      produce byte-identical journals from line 2 on (line 1 is the
+#      run_start envelope, the only line allowed to carry the thread count)
+#   2. a default-mode journal carries no wall-clock field at all
+#   3. dblayout_report --journal renders the funnel/trajectory/run_end
+#      sections from a default journal, and phase timings from a
+#      --journal-wall-clock journal
+#   4. dblayout_report --compare: a file against itself exits 0; the seeded
+#      regression fixture (tests/testdata/report_regressed.json, +16.6% on
+#      one estimated_cost_ms) exits 1 and names the regressed metric;
+#      malformed input exits 2
+#
+# Usage: tools/run_report.sh --cli PATH --report PATH [--data DIR]
+#                            [--fixtures DIR] [--out DIR]
+set -euo pipefail
+
+SOURCE_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+CLI=""
+REPORT=""
+DATA="${SOURCE_DIR}/examples/data"
+FIXTURES="${SOURCE_DIR}/tests/testdata"
+OUT="$(mktemp -d)"
+trap 'rm -rf "${OUT}"' EXIT
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --cli)      CLI="$2"; shift 2 ;;
+    --report)   REPORT="$2"; shift 2 ;;
+    --data)     DATA="$2"; shift 2 ;;
+    --fixtures) FIXTURES="$2"; shift 2 ;;
+    --out)      OUT="$2"; trap - EXIT; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+[[ -n "${CLI}" && -x "${CLI}" ]] || { echo "usage: $0 --cli PATH --report PATH" >&2; exit 2; }
+[[ -n "${REPORT}" && -x "${REPORT}" ]] || { echo "usage: $0 --cli PATH --report PATH" >&2; exit 2; }
+mkdir -p "${OUT}"
+
+log()  { printf '\n== %s ==\n' "$*"; }
+fail() { echo "REPORT DRIVER FAILED: $*" >&2; exit 1; }
+
+J1="${OUT}/journal_t1.jsonl"
+J4="${OUT}/journal_t4.jsonl"
+JW="${OUT}/journal_wall.jsonl"
+
+log "journal byte-identity: --threads 1 vs --threads 4, seed 42"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 --threads 1 \
+         --journal-out "${J1}" >/dev/null || fail "threads-1 run exited non-zero"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 --threads 4 \
+         --journal-out "${J4}" >/dev/null || fail "threads-4 run exited non-zero"
+[[ -s "${J1}" && -s "${J4}" ]] || fail "journal files missing or empty"
+head -1 "${J1}" | grep -q '"ev":"run_start"' || fail "line 1 is not the run_start envelope"
+head -1 "${J1}" | grep -q '"threads":1' || fail "envelope does not record threads=1"
+head -1 "${J4}" | grep -q '"threads":4' || fail "envelope does not record threads=4"
+# The envelope is the only line allowed to differ between equivalent runs.
+cmp <(tail -n +2 "${J1}") <(tail -n +2 "${J4}") \
+  || fail "journals differ past the envelope: thread count leaked into events"
+grep -q '"t_us"' "${J1}" && fail "default-mode journal carries wall-clock t_us"
+grep -q '"eval_ns"' "${J1}" && fail "default-mode journal carries eval_ns"
+
+log "run report over the default journal"
+out="$("${REPORT}" --journal "${J1}")" || fail "report over default journal exited non-zero"
+grep -q "acceptance funnel" <<<"${out}" || fail "no acceptance funnel in report"
+grep -q "cost trajectory" <<<"${out}" || fail "no cost trajectory in report"
+grep -q "run_end: status ok" <<<"${out}" || fail "no run_end summary in report"
+grep -q "n/a" <<<"${out}" || fail "default journal should render phases as n/a"
+
+log "run report over a wall-clock journal (--journal-wall-clock --report)"
+"${CLI}" --tpch 0.1 --disks "${DATA}/disks.txt" --seed 42 \
+         --journal-out "${JW}" --journal-wall-clock --report >/dev/null \
+  || fail "wall-clock run exited non-zero"
+grep -q '"t_us"' "${JW}" || fail "wall-clock journal carries no t_us"
+out="$("${REPORT}" --journal "${JW}")" || fail "report over wall-clock journal exited non-zero"
+grep -q "cost attribution" <<<"${out}" || fail "no attribution tables in report"
+grep -Eq "search +[0-9.]+ ms" <<<"${out}" || fail "no timed search phase in report"
+
+log "--compare: self vs self exits 0"
+"${REPORT}" --compare "${FIXTURES}/report_base.json" "${FIXTURES}/report_base.json" \
+  || fail "self-comparison regressed"
+
+log "--compare: seeded regression fixture exits 1"
+set +e
+out="$("${REPORT}" --compare "${FIXTURES}/report_base.json" \
+                   "${FIXTURES}/report_regressed.json")"
+rc=$?
+set -e
+[[ ${rc} -eq 1 ]] || fail "regression fixture exited ${rc}, want 1"
+grep -q "REGRESSED" <<<"${out}" || fail "no REGRESSED verdict in compare output"
+grep -q "estimated_cost_ms" <<<"${out}" || fail "regressed metric not named"
+
+log "--compare: malformed input exits 2"
+echo 'not json' > "${OUT}/bad.json"
+set +e
+"${REPORT}" --compare "${OUT}/bad.json" "${FIXTURES}/report_base.json" >/dev/null 2>&1
+rc=$?
+set -e
+[[ ${rc} -eq 2 ]] || fail "malformed input exited ${rc}, want 2"
+
+log "OK: journal identity + report + compare contracts hold"
