@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rng.h"
+
 namespace dblayout {
 
 /// Retry discipline for transient per-request I/O errors (media retries,
@@ -26,13 +28,36 @@ struct RetryPolicy {
   /// backoff_cap_ms).
   double backoff_base_ms = 0.5;
   double backoff_cap_ms = 50.0;
+  /// Jitter fraction applied to each backoff delay by JitteredBackoffMs: the
+  /// delay is scaled by a factor drawn uniformly from [1 - j, 1 + j] (j
+  /// clamped to [0, 1]) from a *caller-supplied seeded* Rng, so retry
+  /// schedules decorrelate across sessions while staying reproducible for a
+  /// fixed seed. 0 disables jitter; the analytic expectations below are
+  /// unaffected (the jitter factor has mean 1).
+  double backoff_jitter = 0.0;
 
   bool active() const { return transient_error_rate > 0.0 && max_retries >= 0; }
+
+  /// Total service attempts a request may consume: the initial attempt plus
+  /// max_retries retries. A zero-retry policy attempts exactly once; a
+  /// negative max_retries (retry disabled) also attempts exactly once.
+  int MaxAttempts() const { return std::max(0, max_retries) + 1; }
 
   /// Backoff delay (ms) charged before 1-based retry `retry_index`.
   double BackoffDelayMs(int retry_index) const {
     const double d = backoff_base_ms * std::ldexp(1.0, retry_index - 1);
     return std::min(d, backoff_cap_ms);
+  }
+
+  /// BackoffDelayMs with the jitter factor drawn from `rng`. Deterministic
+  /// for a fixed Rng seed and call sequence (the session supervisor seeds one
+  /// Rng per (session, window), so a resumed run replays the same schedule).
+  /// Draws from `rng` even when backoff_jitter is 0 so enabling jitter never
+  /// shifts an unrelated consumer of the same Rng stream.
+  double JitteredBackoffMs(int retry_index, Rng* rng) const {
+    const double j = std::clamp(backoff_jitter, 0.0, 1.0);
+    const double factor = rng->UniformDouble(1.0 - j, 1.0 + j);
+    return std::min(BackoffDelayMs(retry_index) * factor, backoff_cap_ms);
   }
 
   /// Expected service attempts per request under the truncated-geometric

@@ -218,9 +218,15 @@ std::vector<std::vector<int>> ObjectGroups(size_t num_objects,
 struct TsGreedySearch::Deadline {
   std::chrono::steady_clock::time_point at{};
   bool active = false;
+  /// Cooperative cancellation flag (SearchOptions::cancel_requested); checked
+  /// wherever the wall-clock deadline is, so SIGINT/SIGTERM interrupts the
+  /// search at candidate granularity with the same best-so-far contract.
+  const std::atomic<bool>* cancel = nullptr;
 
-  static Deadline FromBudgetMs(double budget_ms) {
+  static Deadline FromBudgetMs(double budget_ms,
+                               const std::atomic<bool>* cancel_requested) {
     Deadline d;
+    d.cancel = cancel_requested;
     if (budget_ms >= 0) {
       d.active = true;
       // dblayout-check(determinism-taint): the search budget is a contractual wall-clock deadline (SearchOptions::budget_ms); which candidates get scored before it expires is deliberately time-dependent
@@ -232,6 +238,9 @@ struct TsGreedySearch::Deadline {
   }
 
   bool Expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
     // dblayout-check(determinism-taint): deadline probe for the contractual search budget; checked only at candidate granularity so a timed-out run still returns a valid best-so-far
     return active && std::chrono::steady_clock::now() >= at;
   }
@@ -975,7 +984,7 @@ Result<SearchResult> TsGreedySearch::Run(const WorkloadProfile& profile,
   const CostModel cost_model(fleet_);
   // One deadline for the whole run: probe search, migration, and the final
   // greedy phase share the budget.
-  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms);
+  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms, options_.cancel_requested);
   // dblayout-check(determinism-taint): step-1 wall-clock is observe-only telemetry (SearchResult::partition_ms feeds the advisor's PhaseBreakdown); it never influences the search
   const auto partition_t0 = std::chrono::steady_clock::now();
   DBLAYOUT_ASSIGN_OR_RETURN(Layout initial, InitialLayout(profile, constraints));
@@ -1074,7 +1083,7 @@ Result<SearchResult> TsGreedySearch::RunFrom(
 
   SearchResult result;
   const CostModel cost_model(fleet_);
-  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms);
+  const Deadline deadline = Deadline::FromBudgetMs(options_.time_budget_ms, options_.cancel_requested);
   DBLAYOUT_ASSIGN_OR_RETURN(
       Layout final_layout,
       GreedyWiden(profile, constraints, start, cost_model, deadline, &result));

@@ -9,6 +9,7 @@
 #ifndef DBLAYOUT_LAYOUT_SEARCH_H_
 #define DBLAYOUT_LAYOUT_SEARCH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -69,6 +70,14 @@ struct SearchOptions {
   /// returns the starting layout. Lets callers bound re-layout planning
   /// under incident pressure (see src/resilience/evacuate.h).
   double time_budget_ms = -1.0;
+  /// Cooperative cancellation (not owned; may be null). When the pointee
+  /// becomes true the search stops at the next deadline-granularity check —
+  /// between candidate evaluations — and returns the best valid layout
+  /// accepted so far with SearchResult::timed_out set, exactly the
+  /// time-budget-expiry contract. Wired to the process shutdown flag by
+  /// dblayout_cli / dblayout_serve so SIGINT/SIGTERM mid-search still yields
+  /// a flushable result instead of dropping the run.
+  const std::atomic<bool>* cancel_requested = nullptr;
   /// Number of threads used to score the candidate moves of one greedy (or
   /// migration) iteration, via the process-wide shared pool
   /// (ThreadPool::Shared). Candidate enumeration and winner selection stay

@@ -1,0 +1,115 @@
+#include "resilience/rollback.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strutil.h"
+#include "layout/cost_model.h"
+#include "layout/evaluator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dblayout {
+
+Result<RollbackPlan> PlanRollback(const Database& db, const DiskFleet& fleet,
+                                  const WorkloadProfile& profile,
+                                  const Layout& current, const Layout& last_good) {
+  DBLAYOUT_TRACE_SPAN("resilience/rollback");
+  const std::vector<int64_t> sizes = db.ObjectSizes();
+  const int num_objects = static_cast<int>(db.Objects().size());
+  if (current.num_objects() != num_objects ||
+      current.num_disks() != fleet.num_disks()) {
+    return Status::InvalidArgument(
+        "regressed layout does not match the database/fleet dimensions");
+  }
+  if (last_good.num_objects() != num_objects ||
+      last_good.num_disks() != fleet.num_disks()) {
+    return Status::InvalidArgument(
+        "last-good layout does not match the database/fleet dimensions");
+  }
+  DBLAYOUT_RETURN_NOT_OK(current.Validate(sizes, fleet));
+  DBLAYOUT_RETURN_NOT_OK(last_good.Validate(sizes, fleet));
+
+  RollbackPlan plan;
+  plan.target = last_good;
+  plan.moved_blocks = Layout::DataMovementBlocks(current, last_good, sizes);
+
+  const CostModel cost_model(fleet);
+  LayoutEvaluator evaluator(profile, cost_model);
+  plan.current_cost_ms = evaluator.Bind(current);
+  plan.target_cost_ms = evaluator.Bind(last_good);
+
+  for (int i = 0; i < num_objects; ++i) {
+    const int64_t size = sizes[static_cast<size_t>(i)];
+    double moved = 0;
+    for (int j = 0; j < fleet.num_disks(); ++j) {
+      moved += std::max(0.0, last_good.x(i, j) - current.x(i, j)) *
+               static_cast<double>(size);
+    }
+    if (moved <= kLayoutFractionTolerance) continue;
+    RollbackMove move;
+    move.object = i;
+    move.object_name = db.Objects()[static_cast<size_t>(i)].name;
+    move.from_disks = current.DisksOf(i);
+    move.to_disks = last_good.DisksOf(i);
+    move.blocks_moved = std::llround(moved);
+    plan.moves.push_back(std::move(move));
+  }
+  std::sort(plan.moves.begin(), plan.moves.end(),
+            [](const RollbackMove& a, const RollbackMove& b) {
+              if (a.blocks_moved != b.blocks_moved) {
+                return a.blocks_moved > b.blocks_moved;
+              }
+              return a.object < b.object;
+            });
+
+  plan.regressions.reserve(profile.statements.size());
+  for (const StatementProfile& s : profile.statements) {
+    StatementRegression r;
+    r.sql = s.sql;
+    r.weight = s.weight;
+    r.cost_current_ms = s.weight * cost_model.StatementCost(s, current);
+    r.cost_target_ms = s.weight * cost_model.StatementCost(s, last_good);
+    plan.regressions.push_back(std::move(r));
+  }
+  // Worst offender first; ties broken by profile order via stable_sort so
+  // the attribution list is deterministic for identical-cost statements.
+  std::stable_sort(plan.regressions.begin(), plan.regressions.end(),
+                   [](const StatementRegression& a, const StatementRegression& b) {
+                     return a.DeltaMs() > b.DeltaMs();
+                   });
+
+  DBLAYOUT_OBS_COUNT("resilience/rollbacks_planned", 1);
+  DBLAYOUT_OBS_OBSERVE("resilience/rollback_moved_blocks", plan.moved_blocks);
+  return plan;
+}
+
+std::string RenderRollbackPlan(const RollbackPlan& plan, const DiskFleet& fleet) {
+  std::string out;
+  out += StrFormat(
+      "Rollback plan: %zu object moves, %.0f blocks moved; workload cost "
+      "%.0f ms -> %.0f ms (%+.1f%% regression undone)\n",
+      plan.moves.size(), plan.moved_blocks, plan.current_cost_ms,
+      plan.target_cost_ms, plan.RegressionPct());
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"object", "moved", "from", "to"});
+  for (const RollbackMove& m : plan.moves) {
+    std::vector<std::string> from_names, to_names;
+    for (int j : m.from_disks) from_names.push_back(fleet.disk(j).name);
+    for (int j : m.to_disks) to_names.push_back(fleet.disk(j).name);
+    rows.push_back({m.object_name,
+                    StrFormat("%lld", static_cast<long long>(m.blocks_moved)),
+                    Join(from_names, ","), Join(to_names, ",")});
+  }
+  out += RenderTable(rows);
+  int listed = 0;
+  for (const StatementRegression& r : plan.regressions) {
+    if (r.DeltaMs() <= 0) break;
+    if (listed == 0) out += "Top regressed statements:\n";
+    if (++listed > 5) break;
+    out += StrFormat("  %+.0f ms  %s\n", r.DeltaMs(), r.sql.c_str());
+  }
+  return out;
+}
+
+}  // namespace dblayout

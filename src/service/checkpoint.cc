@@ -1,0 +1,205 @@
+#include "service/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/strutil.h"
+#include "obs/journal.h"
+#include "obs/json.h"
+
+namespace dblayout {
+
+namespace {
+
+using obs::JsonValue;
+
+void AppendStatementArray(const std::vector<StatementSnapshot>& statements,
+                          std::string* out) {
+  *out += "[";
+  for (size_t i = 0; i < statements.size(); ++i) {
+    if (i > 0) *out += ",";
+    const StatementSnapshot& s = statements[i];
+    *out += "{\"sql\":" + obs::JsonString(s.sql) +
+            ",\"weight\":" + obs::JsonDouble(s.weight) +
+            ",\"stream\":" + obs::JsonInt(s.stream) + "}";
+  }
+  *out += "]";
+}
+
+Result<std::vector<StatementSnapshot>> ParseStatementArray(
+    const JsonValue& parent, const std::string& key) {
+  const JsonValue* arr = parent.Find(key);
+  if (arr == nullptr || !arr->is_array()) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint session is missing the '%s' array", key.c_str()));
+  }
+  std::vector<StatementSnapshot> out;
+  out.reserve(arr->array().size());
+  for (const JsonValue& v : arr->array()) {
+    if (!v.is_object() || v.Find("sql") == nullptr) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint '%s' entry is not a statement object", key.c_str()));
+    }
+    StatementSnapshot s;
+    s.sql = v.StringOr("sql", "");
+    s.weight = v.NumberOr("weight", 1.0);
+    s.stream = static_cast<int>(v.IntOr("stream", 0));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const ServiceSnapshot& snapshot) {
+  std::string out = "{";
+  out += "\"v\":" + obs::JsonInt(snapshot.version);
+  out += ",\"tool\":\"dblayout-serve\"";
+  out += ",\"config\":" + obs::JsonString(snapshot.config_fingerprint);
+  out += ",\"statements_consumed\":" + obs::JsonInt(snapshot.statements_consumed);
+  out += ",\"windows_closed\":" + obs::JsonInt(snapshot.windows_closed);
+  out += ",\"sessions\":[";
+  for (size_t i = 0; i < snapshot.sessions.size(); ++i) {
+    if (i > 0) out += ",";
+    const SessionSnapshot& s = snapshot.sessions[i];
+    out += "{\"id\":" + obs::JsonInt(s.id);
+    out += ",\"mode\":" + obs::JsonString(s.mode);
+    out += ",\"stage\":" + obs::JsonString(s.stage);
+    out += ",\"streak\":" + obs::JsonInt(s.streak);
+    out += ",\"windows_closed\":" + obs::JsonInt(s.windows_closed);
+    out += ",\"statements_ingested\":" + obs::JsonInt(s.statements_ingested);
+    out += ",\"advises\":" + obs::JsonInt(s.advises);
+    out += ",\"promotions\":" + obs::JsonInt(s.promotions);
+    out += ",\"rollbacks\":" + obs::JsonInt(s.rollbacks);
+    out += ",\"deadline_misses\":" + obs::JsonInt(s.deadline_misses);
+    out += ",\"degraded_reason\":" + obs::JsonString(s.degraded_reason);
+    out += ",\"profile\":";
+    AppendStatementArray(s.profile, &out);
+    out += ",\"pending\":";
+    AppendStatementArray(s.pending, &out);
+    out += ",\"active_csv\":" + obs::JsonString(s.active_csv);
+    out += ",\"last_good_csv\":" + obs::JsonString(s.last_good_csv);
+    out += ",\"candidate_csv\":" + obs::JsonString(s.candidate_csv);
+    out += ",\"adopted_shares\":[";
+    for (size_t j = 0; j < s.adopted_shares.size(); ++j) {
+      if (j > 0) out += ",";
+      out += obs::JsonDouble(s.adopted_shares[j]);
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+Result<ServiceSnapshot> ParseCheckpoint(const std::string& text) {
+  DBLAYOUT_ASSIGN_OR_RETURN(JsonValue root, obs::ParseJson(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("checkpoint is not a JSON object");
+  }
+  const JsonValue* version = root.Find("v");
+  if (version == nullptr || !version->is_number()) {
+    return Status::InvalidArgument(
+        "checkpoint has no schema version field 'v'");
+  }
+  ServiceSnapshot snapshot;
+  snapshot.version = static_cast<int>(version->int_value());
+  if (snapshot.version != kCheckpointSchemaVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint schema version %d is not the supported version %d",
+        snapshot.version, kCheckpointSchemaVersion));
+  }
+  snapshot.config_fingerprint = root.StringOr("config", "");
+  snapshot.statements_consumed = root.IntOr("statements_consumed", -1);
+  snapshot.windows_closed = root.IntOr("windows_closed", 0);
+  if (snapshot.statements_consumed < 0) {
+    return Status::InvalidArgument(
+        "checkpoint is missing 'statements_consumed'");
+  }
+  const JsonValue* sessions = root.Find("sessions");
+  if (sessions == nullptr || !sessions->is_array()) {
+    return Status::InvalidArgument("checkpoint has no 'sessions' array");
+  }
+  for (const JsonValue& v : sessions->array()) {
+    if (!v.is_object()) {
+      return Status::InvalidArgument("checkpoint session is not an object");
+    }
+    SessionSnapshot s;
+    s.id = static_cast<int>(v.IntOr("id", -1));
+    if (s.id < 0) {
+      return Status::InvalidArgument("checkpoint session has no 'id'");
+    }
+    s.mode = v.StringOr("mode", "active");
+    s.stage = v.StringOr("stage", "idle");
+    s.streak = static_cast<int>(v.IntOr("streak", 0));
+    s.windows_closed = static_cast<int>(v.IntOr("windows_closed", 0));
+    s.statements_ingested = v.IntOr("statements_ingested", 0);
+    s.advises = static_cast<int>(v.IntOr("advises", 0));
+    s.promotions = static_cast<int>(v.IntOr("promotions", 0));
+    s.rollbacks = static_cast<int>(v.IntOr("rollbacks", 0));
+    s.deadline_misses = static_cast<int>(v.IntOr("deadline_misses", 0));
+    s.degraded_reason = v.StringOr("degraded_reason", "");
+    DBLAYOUT_ASSIGN_OR_RETURN(s.profile, ParseStatementArray(v, "profile"));
+    DBLAYOUT_ASSIGN_OR_RETURN(s.pending, ParseStatementArray(v, "pending"));
+    s.active_csv = v.StringOr("active_csv", "");
+    if (s.active_csv.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint session %d has no active layout", s.id));
+    }
+    s.last_good_csv = v.StringOr("last_good_csv", "");
+    s.candidate_csv = v.StringOr("candidate_csv", "");
+    if (const JsonValue* shares = v.Find("adopted_shares");
+        shares != nullptr && shares->is_array()) {
+      for (const JsonValue& x : shares->array()) {
+        s.adopted_shares.push_back(x.number_value());
+      }
+    }
+    snapshot.sessions.push_back(std::move(s));
+  }
+  return snapshot;
+}
+
+Status WriteCheckpointAtomic(const ServiceSnapshot& snapshot,
+                             const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::out | std::ios::trunc);
+    if (!out) {
+      return Status::Internal(
+          StrFormat("cannot open checkpoint temp file '%s'", tmp.c_str()));
+    }
+    out << SerializeCheckpoint(snapshot);
+    out.flush();
+    if (!out) {
+      return Status::Internal(
+          StrFormat("short write to checkpoint temp file '%s'", tmp.c_str()));
+    }
+  }
+  // Same-directory rename: atomic on POSIX, so readers see either the old
+  // complete checkpoint or the new complete one, never a torn file.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(StrFormat(
+        "cannot rename checkpoint '%s' over '%s'", tmp.c_str(), path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<ServiceSnapshot> ReadCheckpoint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(
+        StrFormat("checkpoint file '%s' does not exist", path.c_str()));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<ServiceSnapshot> parsed = ParseCheckpoint(buffer.str());
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint file '%s' is corrupted or truncated: %s", path.c_str(),
+        parsed.status().message().c_str()));
+  }
+  return parsed;
+}
+
+}  // namespace dblayout

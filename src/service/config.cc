@@ -1,0 +1,21 @@
+#include "service/config.h"
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+std::string ServiceConfig::Fingerprint() const {
+  // Field-by-field rendering rather than a hash: a mismatch message naming
+  // the differing knob beats an opaque digest, and checkpoints are small.
+  return StrFormat(
+      "w=%d drift=%.17g promote=%.17g/%d rolltol=%.17g move=%.17g obs=%d "
+      "deadline=%.17g misses=%d maxstmt=%d retries=%d backoff=%.17g/%.17g "
+      "jitter=%.17g seed=%llu",
+      window_size, drift_threshold, promote_threshold_pct, promote_windows,
+      rollback_tolerance_pct, max_move_fraction, observe_only ? 1 : 0,
+      advise_deadline_ms, max_deadline_misses, max_profile_statements,
+      retry.max_retries, retry.backoff_base_ms, retry.backoff_cap_ms,
+      retry.backoff_jitter, static_cast<unsigned long long>(seed));
+}
+
+}  // namespace dblayout

@@ -1,0 +1,77 @@
+#include "service/guardrail.h"
+
+#include <algorithm>
+
+namespace dblayout {
+
+const char* GuardrailStageName(GuardrailStage stage) {
+  switch (stage) {
+    case GuardrailStage::kIdle:
+      return "idle";
+    case GuardrailStage::kObserving:
+      return "observing";
+    case GuardrailStage::kPromoted:
+      return "promoted";
+  }
+  return "unknown";
+}
+
+GuardrailAction Guardrail::OnWindow(const WindowSignal& signal) {
+  last_benefit_pct_ = 0;
+
+  // Rollback first: a promoted layout that regresses on the realized window
+  // past tolerance goes back to last-good regardless of what any new
+  // candidate is doing. Observe-only sessions never promoted, so kPromoted
+  // is unreachable there and rollback never fires either.
+  if (stage_ == GuardrailStage::kPromoted && signal.last_good_cost_ms >= 0 &&
+      signal.active_cost_ms >= 0) {
+    const double tolerance =
+        1.0 + std::max(0.0, config_.rollback_tolerance_pct) / 100.0;
+    if (signal.active_cost_ms > signal.last_good_cost_ms * tolerance) {
+      stage_ = GuardrailStage::kIdle;
+      streak_ = 0;
+      return GuardrailAction::kRollback;
+    }
+  }
+
+  // Promotion: count consecutive windows where the candidate's realized
+  // benefit clears the threshold; any non-qualifying window resets the
+  // streak (an intermittent win is not a win).
+  if (signal.candidate_cost_ms < 0) {
+    // No candidate this window. Observation cannot continue without one.
+    if (stage_ == GuardrailStage::kObserving) {
+      stage_ = GuardrailStage::kIdle;
+    }
+    streak_ = 0;
+    return GuardrailAction::kNone;
+  }
+  if (stage_ != GuardrailStage::kPromoted) {
+    stage_ = GuardrailStage::kObserving;
+  }
+  if (signal.active_cost_ms <= 0) {
+    streak_ = 0;
+    return GuardrailAction::kNone;
+  }
+  last_benefit_pct_ = 100.0 *
+                      (signal.active_cost_ms - signal.candidate_cost_ms) /
+                      signal.active_cost_ms;
+  if (last_benefit_pct_ >= config_.promote_threshold_pct) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+    return GuardrailAction::kNone;
+  }
+  if (streak_ < std::max(1, config_.promote_windows)) {
+    return GuardrailAction::kNone;
+  }
+  streak_ = 0;
+  if (config_.observe_only) {
+    // Criteria met but the mode forbids touching the layout; stay observing
+    // so a later non-observe run of the same trace shows the same streaks.
+    return GuardrailAction::kWouldPromote;
+  }
+  stage_ = GuardrailStage::kPromoted;
+  return GuardrailAction::kPromote;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,77 @@
+// Guardrail state machine for the continuous advisor (the AIM staging
+// discipline, DESIGN.md §12): every recommendation starts observe-only and
+// is promoted only after beating the active layout by a configurable margin
+// for K consecutive windows; a promoted layout whose realized window cost
+// regresses past tolerance against the last-good layout is rolled back.
+//
+// The guardrail is a pure function of the per-window cost signals — it holds
+// no layouts and performs no moves. The session owns the layouts and applies
+// the returned action (promote: candidate becomes active, active becomes
+// last-good; rollback: last-good becomes active again). Keeping the decision
+// logic free of side effects makes it unit-testable window by window and
+// trivially checkpointable (two integers and an enum).
+
+#ifndef DBLAYOUT_SERVICE_GUARDRAIL_H_
+#define DBLAYOUT_SERVICE_GUARDRAIL_H_
+
+#include "service/config.h"
+
+namespace dblayout {
+
+/// Where the session's candidate stands in the staging pipeline.
+enum class GuardrailStage {
+  kIdle = 0,       ///< no candidate under observation, no promoted layout
+  kObserving = 1,  ///< a candidate exists; counting qualifying windows
+  kPromoted = 2,   ///< a promotion happened; watching for realized regression
+};
+
+const char* GuardrailStageName(GuardrailStage stage);
+
+/// What the session must do after one window's guardrail update.
+enum class GuardrailAction {
+  kNone = 0,
+  kPromote = 1,       ///< adopt the candidate (never emitted in observe-only)
+  kWouldPromote = 2,  ///< observe-only mode: promotion criteria met, not applied
+  kRollback = 3,      ///< restore the last-good layout
+};
+
+/// Realized cost signals of one window, all over the *same* window profile.
+/// Negative cost = that layout does not exist this window (no candidate /
+/// no last-good yet).
+struct WindowSignal {
+  double active_cost_ms = -1;     ///< window cost under the active layout
+  double candidate_cost_ms = -1;  ///< under the candidate, if any
+  double last_good_cost_ms = -1;  ///< under the last-good layout, if any
+};
+
+class Guardrail {
+ public:
+  explicit Guardrail(const ServiceConfig& config) : config_(config) {}
+
+  /// Folds one window's signals into the state machine and returns the
+  /// action the session must apply. Rollback is checked before promotion:
+  /// restoring safety outranks adopting the next candidate.
+  GuardrailAction OnWindow(const WindowSignal& signal);
+
+  GuardrailStage stage() const { return stage_; }
+  int streak() const { return streak_; }
+  /// Candidate benefit of the most recent window, % of active cost
+  /// (positive = candidate cheaper). 0 when no candidate was present.
+  double last_benefit_pct() const { return last_benefit_pct_; }
+
+  /// Checkpoint plumbing: restore the machine mid-streak.
+  void RestoreState(GuardrailStage stage, int streak) {
+    stage_ = stage;
+    streak_ = streak;
+  }
+
+ private:
+  ServiceConfig config_;
+  GuardrailStage stage_ = GuardrailStage::kIdle;
+  int streak_ = 0;
+  double last_benefit_pct_ = 0;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_SERVICE_GUARDRAIL_H_

@@ -1,0 +1,116 @@
+#include "service/service_lint.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+namespace {
+
+class ServiceConfigRule : public LintRule {
+ public:
+  explicit ServiceConfigRule(ServiceConfig config) : config_(std::move(config)) {}
+
+  const char* id() const override { return "service-config-sane"; }
+  const char* summary() const override {
+    return "continuous-advisor configurations that can only misbehave: "
+           "always-on drift, no observation gate, or a movement budget "
+           "below the largest object";
+  }
+  LintSeverity severity() const override { return LintSeverity::kWarning; }
+
+  void Check(const LintContext& ctx, std::vector<Diagnostic>* out) const override {
+    if (config_.window_size <= 0) {
+      Diagnostic d = Make(StrFormat("window size %d is not positive: the "
+                                    "service can never close a window",
+                                    config_.window_size),
+                          "set --window to a positive statement count");
+      d.severity = LintSeverity::kError;
+      out->push_back(std::move(d));
+    }
+    if (config_.drift_threshold <= 0) {
+      out->push_back(Make(
+          StrFormat("drift threshold %g is not positive: every window "
+                    "re-advises, so the advisor search runs continuously "
+                    "regardless of whether the workload changed",
+                    config_.drift_threshold),
+          "set --drift-threshold to a value in (0, 1]; 0.15 is the default"));
+    }
+    if (config_.promote_windows <= 0) {
+      out->push_back(Make(
+          StrFormat("promotion window count %d disables the observe-only "
+                    "staging gate: candidates are promoted on their first "
+                    "qualifying window, before any realized-cost evidence "
+                    "accumulates",
+                    config_.promote_windows),
+          "set --promote-windows to at least 1 (2+ to require consecutive "
+          "evidence)"));
+    }
+    if (config_.rollback_tolerance_pct < 0) {
+      out->push_back(Make(
+          StrFormat("rollback tolerance %g%% is negative: cost-model noise "
+                    "alone will roll back every promotion",
+                    config_.rollback_tolerance_pct),
+          "set --rollback-tolerance-pct to a small non-negative margin"));
+    }
+    // The movement-budget check needs the database (for object sizes). The
+    // budget is a fraction of total database blocks (the Constraints
+    // semantics); if that is below the largest single object, no advise can
+    // ever move that object, and a promotion that should relocate it is
+    // permanently stuck at a local optimum.
+    if (ctx.input.db != nullptr && config_.max_move_fraction >= 0) {
+      const std::vector<int64_t> sizes = ctx.db().ObjectSizes();
+      if (!sizes.empty()) {
+        int largest = 0;
+        for (size_t i = 1; i < sizes.size(); ++i) {
+          if (sizes[i] > sizes[static_cast<size_t>(largest)]) {
+            largest = static_cast<int>(i);
+          }
+        }
+        const double budget_blocks =
+            config_.max_move_fraction *
+            static_cast<double>(ctx.db().TotalBlocks());
+        const int64_t largest_blocks = sizes[static_cast<size_t>(largest)];
+        if (budget_blocks < static_cast<double>(largest_blocks)) {
+          Diagnostic d = Make(
+              StrFormat("movement budget of %.0f blocks (%.0f%% of the "
+                        "database) is below the largest object '%s' "
+                        "(%lld blocks): no re-advise can ever move it, so "
+                        "recommendations involving it are permanently stuck",
+                        budget_blocks, 100.0 * config_.max_move_fraction,
+                        ctx.ObjectName(static_cast<size_t>(largest)).c_str(),
+                        static_cast<long long>(largest_blocks)),
+              "raise --max-move above the largest object's share of the "
+              "database, or accept advice that excludes it");
+          d.severity = LintSeverity::kError;
+          d.objects.push_back(ctx.ObjectName(static_cast<size_t>(largest)));
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+
+ private:
+  Diagnostic Make(std::string message, std::string fix_it) const {
+    Diagnostic d;
+    d.rule_id = id();
+    d.severity = severity();
+    d.message = std::move(message);
+    d.fix_it = std::move(fix_it);
+    return d;
+  }
+
+  ServiceConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<LintRule> MakeServiceConfigRule(ServiceConfig config) {
+  return std::make_unique<ServiceConfigRule>(std::move(config));
+}
+
+}  // namespace dblayout

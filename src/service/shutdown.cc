@@ -1,0 +1,39 @@
+#include "service/shutdown.h"
+
+#include <csignal>
+
+namespace dblayout {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleShutdownSignal(int signum) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  // One graceful chance: restore the default disposition so a second signal
+  // terminates even if the polling loop is wedged.
+  std::signal(signum, SIG_DFL);
+}
+
+}  // namespace
+
+void InstallShutdownHandlers() {
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+const std::atomic<bool>* ShutdownFlag() { return &g_shutdown_requested; }
+
+void RequestShutdown() {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void ResetShutdownForTest() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace dblayout

@@ -1,0 +1,82 @@
+#include "service/supervisor.h"
+
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace dblayout {
+
+Supervisor::Supervisor(const Database& db, const DiskFleet& fleet,
+                       ServiceConfig config, obs::EventJournal* journal)
+    : db_(db), fleet_(fleet), config_(std::move(config)), journal_(journal) {}
+
+Session* Supervisor::GetOrCreateSession(int session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    it = sessions_
+             .emplace(session_id,
+                      std::make_unique<Session>(session_id, db_, fleet_,
+                                                config_, journal_))
+             .first;
+  }
+  return it->second.get();
+}
+
+const Session* Supervisor::FindSession(int session_id) const {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Status Supervisor::OnStatement(int session_id, const std::string& sql,
+                               double weight) {
+  ++statements_consumed_;
+  return GetOrCreateSession(session_id)->Ingest(sql, weight);
+}
+
+Status Supervisor::FlushAll() {
+  for (auto& [id, session] : sessions_) {
+    DBLAYOUT_RETURN_NOT_OK(session->Flush());
+  }
+  return Status::OK();
+}
+
+ServiceSnapshot Supervisor::Snapshot() const {
+  ServiceSnapshot snapshot;
+  snapshot.config_fingerprint = config_.Fingerprint();
+  snapshot.statements_consumed = statements_consumed_;
+  for (const auto& [id, session] : sessions_) {
+    snapshot.windows_closed += session->windows_closed();
+    snapshot.sessions.push_back(session->Snapshot());
+  }
+  return snapshot;
+}
+
+Result<std::unique_ptr<Supervisor>> Supervisor::Restore(
+    const ServiceSnapshot& snapshot, const Database& db, const DiskFleet& fleet,
+    ServiceConfig config, obs::EventJournal* journal) {
+  const std::string fingerprint = config.Fingerprint();
+  if (snapshot.config_fingerprint != fingerprint) {
+    return Status::FailedPrecondition(StrFormat(
+        "checkpoint was written under a different service configuration "
+        "(checkpoint: %s; running: %s) — a resumed run must replay the same "
+        "decisions, so resume with the original flags or start fresh",
+        snapshot.config_fingerprint.c_str(), fingerprint.c_str()));
+  }
+  auto supervisor =
+      std::make_unique<Supervisor>(db, fleet, std::move(config), journal);
+  supervisor->statements_consumed_ = snapshot.statements_consumed;
+  for (const SessionSnapshot& s : snapshot.sessions) {
+    if (supervisor->sessions_.count(s.id) > 0) {
+      return Status::InvalidArgument(
+          StrFormat("checkpoint contains session %d twice", s.id));
+    }
+    DBLAYOUT_ASSIGN_OR_RETURN(
+        Session session,
+        Session::Restore(s, db, fleet, supervisor->config_, journal));
+    supervisor->sessions_.emplace(s.id,
+                                  std::make_unique<Session>(std::move(session)));
+  }
+  return supervisor;
+}
+
+}  // namespace dblayout

@@ -1,0 +1,79 @@
+// Session supervisor of the continuous advisor service: routes a trace's
+// statement stream to per-tenant sessions (src/service/session.h), creating
+// them on first sight, and owns the whole-service checkpoint round-trip. One
+// session degrading (over budget, retries exhausted, deadline misses) never
+// blocks the others — the supervisor keeps routing; degradation is a
+// per-session mode, not a service state.
+//
+// Determinism: statements are processed in stream order in the calling
+// thread (parallelism lives *inside* each advise, where it is bit-exact),
+// so the full decision sequence is a pure function of (config, stream
+// prefix). That is what makes checkpoint/resume exact: a snapshot after N
+// statements plus the remaining stream replays to the same final state as
+// the uninterrupted run.
+
+#ifndef DBLAYOUT_SERVICE_SUPERVISOR_H_
+#define DBLAYOUT_SERVICE_SUPERVISOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "service/checkpoint.h"
+#include "service/config.h"
+#include "service/session.h"
+
+namespace dblayout::obs {
+class EventJournal;
+}  // namespace dblayout::obs
+
+namespace dblayout {
+
+class Supervisor {
+ public:
+  Supervisor(const Database& db, const DiskFleet& fleet, ServiceConfig config,
+             obs::EventJournal* journal);
+
+  /// Routes one statement to its session (created on first sight).
+  Status OnStatement(int session_id, const std::string& sql, double weight = 1.0);
+
+  /// Flushes every session's partial window (end-of-stream).
+  Status FlushAll();
+
+  Session* GetOrCreateSession(int session_id);
+  /// Null when the session does not exist.
+  const Session* FindSession(int session_id) const;
+
+  /// Sessions in ascending id order (stable iteration for reports).
+  const std::map<int, std::unique_ptr<Session>>& sessions() const {
+    return sessions_;
+  }
+  int64_t statements_consumed() const { return statements_consumed_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Whole-service snapshot (sessions in ascending id order).
+  ServiceSnapshot Snapshot() const;
+
+  /// Rebuilds a supervisor from a snapshot. Fails when the snapshot's
+  /// config fingerprint differs from `config`'s (a resumed run must replay
+  /// the same decision sequence) or any session fails to restore against
+  /// the live database/fleet.
+  static Result<std::unique_ptr<Supervisor>> Restore(
+      const ServiceSnapshot& snapshot, const Database& db,
+      const DiskFleet& fleet, ServiceConfig config, obs::EventJournal* journal);
+
+ private:
+  const Database& db_;
+  const DiskFleet& fleet_;
+  ServiceConfig config_;
+  obs::EventJournal* journal_;  ///< not owned; may be null
+
+  std::map<int, std::unique_ptr<Session>> sessions_;
+  int64_t statements_consumed_ = 0;
+};
+
+}  // namespace dblayout
+
+#endif  // DBLAYOUT_SERVICE_SUPERVISOR_H_

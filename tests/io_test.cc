@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "io/disk_sim.h"
+#include "io/fault_model.h"
 
 namespace dblayout {
 namespace {
@@ -143,6 +145,101 @@ TEST_P(DiskSimMonotoneTest, CoAccessNeverCheaperThanBackToBack) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, DiskSimMonotoneTest,
                          ::testing::Values(1, 5, 10, 50, 100, 500, 1000, 5000));
+
+// --- RetryPolicy edge cases -------------------------------------------------
+
+TEST(RetryPolicyTest, ZeroRetriesMeansExactlyOneAttempt) {
+  RetryPolicy policy;
+  policy.max_retries = 0;
+  EXPECT_EQ(policy.MaxAttempts(), 1);
+  policy.max_retries = -5;  // retry disabled entirely: still one attempt
+  EXPECT_EQ(policy.MaxAttempts(), 1);
+  policy.max_retries = 3;
+  EXPECT_EQ(policy.MaxAttempts(), 4);
+}
+
+TEST(RetryPolicyTest, ZeroRetriesExpectsNoBackoffAndOneAttempt) {
+  RetryPolicy policy;
+  policy.transient_error_rate = 0.9;
+  policy.max_retries = 0;
+  EXPECT_DOUBLE_EQ(policy.ExpectedAttempts(), 1.0);
+  EXPECT_DOUBLE_EQ(policy.ExpectedBackoffMs(), 0.0);
+}
+
+TEST(RetryPolicyTest, BackoffDoublesUpToCap) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 1.0;
+  policy.backoff_cap_ms = 5.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffDelayMs(1), 1.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelayMs(2), 2.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelayMs(3), 4.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffDelayMs(4), 5.0);  // capped, not 8
+}
+
+TEST(RetryPolicyTest, ZeroJitterReproducesThePlainBackoff) {
+  RetryPolicy policy;
+  policy.backoff_jitter = 0.0;
+  Rng rng(123);
+  for (int r = 1; r <= 5; ++r) {
+    EXPECT_DOUBLE_EQ(policy.JitteredBackoffMs(r, &rng),
+                     policy.BackoffDelayMs(r));
+  }
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicForASeed) {
+  RetryPolicy policy;
+  policy.backoff_jitter = 0.4;
+  Rng a(42), b(42), c(43);
+  bool any_differs = false;
+  for (int r = 1; r <= 8; ++r) {
+    const double da = policy.JitteredBackoffMs(r, &a);
+    const double db = policy.JitteredBackoffMs(r, &b);
+    const double dc = policy.JitteredBackoffMs(r, &c);
+    EXPECT_DOUBLE_EQ(da, db) << "same seed diverged at retry " << r;
+    any_differs |= da != dc;
+  }
+  EXPECT_TRUE(any_differs) << "different seeds produced identical schedules";
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinBoundsAndCap) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 1.0;
+  policy.backoff_cap_ms = 40.0;
+  policy.backoff_jitter = 0.25;
+  Rng rng(7);
+  for (int r = 1; r <= 10; ++r) {
+    const double plain = policy.BackoffDelayMs(r);
+    const double jittered = policy.JitteredBackoffMs(r, &rng);
+    EXPECT_GE(jittered, plain * 0.75 - 1e-12);
+    EXPECT_LE(jittered, policy.backoff_cap_ms + 1e-12);
+  }
+}
+
+TEST(RetryPolicyTest, JitterFactorOutsideUnitRangeIsClamped) {
+  RetryPolicy policy;
+  policy.backoff_base_ms = 1.0;
+  policy.backoff_cap_ms = 1000.0;
+  policy.backoff_jitter = 5.0;  // clamped to 1: factor in [0, 2]
+  Rng rng(99);
+  for (int r = 1; r <= 10; ++r) {
+    const double plain = policy.BackoffDelayMs(r);
+    const double jittered = policy.JitteredBackoffMs(r, &rng);
+    EXPECT_GE(jittered, 0.0);
+    EXPECT_LE(jittered, plain * 2.0 + 1e-12);
+  }
+}
+
+TEST(RetryPolicyTest, DisabledJitterStillAdvancesTheRngStream) {
+  // Toggling jitter on must not shift any other consumer of the same Rng:
+  // JitteredBackoffMs draws exactly one uniform either way.
+  RetryPolicy with, without;
+  with.backoff_jitter = 0.3;
+  without.backoff_jitter = 0.0;
+  Rng a(5), b(5);
+  (void)with.JitteredBackoffMs(1, &a);
+  (void)without.JitteredBackoffMs(1, &b);
+  EXPECT_DOUBLE_EQ(a.UniformDouble(0, 1), b.UniformDouble(0, 1));
+}
 
 }  // namespace
 }  // namespace dblayout

@@ -39,6 +39,7 @@
 #include "obs/trace.h"
 #include "resilience/degraded.h"
 #include "resilience/evacuate.h"
+#include "service/shutdown.h"
 #include "sql/ddl.h"
 #include "workload/analyzer.h"
 #include "workload/trace.h"
@@ -389,6 +390,13 @@ int main(int argc, char** argv) {
   options.search.time_budget_ms = time_budget_ms;
   options.search.num_threads = num_threads;
 
+  // Graceful SIGINT/SIGTERM: the search polls the shutdown flag at its
+  // deadline checks and returns best-so-far; the tail of main still flushes
+  // journal/metrics/trace (run_end status "interrupted", exit 130) instead
+  // of dropping the run's telemetry on the floor.
+  InstallShutdownHandlers();
+  options.search.cancel_requested = ShutdownFlag();
+
   // Telemetry: any of --metrics-out/--trace-out/--progress switches the
   // metrics registry on; --trace-out additionally starts span buffering.
   SetGlobalSeed(seed);
@@ -553,10 +561,20 @@ int main(int argc, char** argv) {
   if (!rec.ok()) return fail("advisor", rec.status());
   std::printf("%s\n", advisor.Report(rec.value()).c_str());
 
+  // Interrupted mid-search: the recommendation above is the search's
+  // best-so-far valid layout. Skip the optional analysis stages and fall
+  // through to the telemetry flush so nothing already computed is lost.
+  const bool interrupted = ShutdownRequested();
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: best-so-far recommendation reported; skipping "
+                 "optional stages, flushing telemetry\n");
+  }
+
   std::vector<std::string> object_names;
   for (const auto& o : db->Objects()) object_names.push_back(o.name);
 
-  if (report) {
+  if (report && !interrupted) {
     // Exact cost attribution of the recommended layout: per-statement/
     // object/drive shares of the advisor's estimated cost, plus drive-heat
     // and queue-depth samples from the simulators. If queue sampling cannot
@@ -608,7 +626,7 @@ int main(int argc, char** argv) {
   const Layout& subject = have_manual ? manual : rec->layout;
   const char* subject_label = have_manual ? evaluate_path.c_str() : "recommended";
 
-  if (resilience_report) {
+  if (resilience_report && !interrupted) {
     ResilienceOptions ropts;
     ropts.num_threads = num_threads;
     auto report = EvaluateResilience(db.value(), fleet.value(), profile.value(),
@@ -619,7 +637,7 @@ int main(int argc, char** argv) {
                 RenderResilienceReport(report.value()).c_str());
   }
 
-  if (!fault_plan_path.empty()) {
+  if (!fault_plan_path.empty() && !interrupted) {
     auto plan_text = ReadFile(fault_plan_path);
     if (!plan_text.ok()) return fail_input("fault-plan", plan_text.status());
     auto plan = FaultPlan::FromSpec(plan_text.value(), fault_plan_path);
@@ -660,7 +678,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!evacuate_drive.empty()) {
+  if (!evacuate_drive.empty() && !interrupted) {
     EvacuationOptions evac_options;
     evac_options.max_movement_fraction = max_move;
     evac_options.search = options.search;
@@ -693,7 +711,7 @@ int main(int argc, char** argv) {
                     .c_str());
   }
 
-  if (simulate) {
+  if (simulate && !interrupted) {
     ExecutionSimulator sim(db.value(), fleet.value());
     std::vector<WeightedPlan> plans;
     for (const auto& s : profile->statements) {
@@ -725,7 +743,7 @@ int main(int argc, char** argv) {
   if (journal != nullptr) {
     journal->Append(
         "run_end",
-        {{"status", obs::JsonString("ok")},
+        {{"status", obs::JsonString(interrupted ? "interrupted" : "ok")},
          {"cost", obs::JsonDouble(rec->estimated_cost_ms)},
          {"full_striping_cost", obs::JsonDouble(rec->full_striping_cost_ms)},
          {"improvement_pct",
@@ -741,5 +759,7 @@ int main(int argc, char** argv) {
                   static_cast<long long>(journal->event_count()));
     }
   }
-  return 0;
+  // 130 = terminated by SIGINT convention; scripts can tell a graceful
+  // interrupted run (telemetry flushed) apart from success.
+  return interrupted ? 130 : 0;
 }

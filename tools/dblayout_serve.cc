@@ -1,0 +1,407 @@
+// dblayout_serve — the continuous advisor service loop (AIM-style guardrails
+// over the Fig. 3 advisor; see DESIGN.md §12).
+//
+// Consumes a profiler trace (`timestamp_ms session_id sql` lines, the same
+// format dblayout_cli --trace reads) as a statement *stream*: each trace
+// session becomes a tenant session of the supervisor, statements are
+// windowed, drift triggers incremental re-advise under a movement budget,
+// and every recommendation passes the observe → promote → rollback
+// guardrail pipeline before (and after) touching a session's active layout.
+//
+// Robustness surface exercised by tools/run_serve.sh and the CI
+// crash-recovery job:
+//   --checkpoint/--checkpoint-every/--resume   crash-safe snapshot cadence;
+//       kill -9 + --resume converges to the uninterrupted run's exact state
+//   --observe-only                             guardrails journal decisions
+//       without ever moving data
+//   SIGINT/SIGTERM                             finish the statement, write a
+//       final checkpoint, flush journal/metrics, exit 130
+//
+// Exit codes: 0 ok, 1 service failure, 2 unusable inputs/config, 130
+// interrupted (state checkpointed).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strutil.h"
+#include "lint/lint.h"
+#include "obs/build_info.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "service/checkpoint.h"
+#include "service/config.h"
+#include "service/service_lint.h"
+#include "service/shutdown.h"
+#include "service/supervisor.h"
+#include "sql/ddl.h"
+#include "workload/trace.h"
+
+using namespace dblayout;
+
+namespace {
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --schema FILE --disks FILE --stream FILE\n"
+               "          [--window N] [--drift-threshold F]\n"
+               "          [--promote-threshold-pct F] [--promote-windows K]\n"
+               "          [--rollback-tolerance-pct F] [--max-move FRACTION]\n"
+               "          [--observe-only] [--deadline-ms MS]\n"
+               "          [--max-profile-statements N] [--retries N]\n"
+               "          [--backoff-base-ms MS] [--backoff-jitter F]\n"
+               "          [--checkpoint FILE] [--checkpoint-every N] [--resume]\n"
+               "          [--final-layout FILE] [--single-session]\n"
+               "          [--journal-out FILE] [--metrics-out FILE]\n"
+               "          [--seed N] [--threads N] [--throttle-ms MS]\n",
+               argv0);
+  return 2;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write file '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path, disks_path, stream_path;
+  std::string checkpoint_path, final_layout_path, journal_out, metrics_out;
+  ServiceConfig config;
+  int checkpoint_every = 64;
+  bool resume = false, single_session = false;
+  double throttle_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_or_die = [&](double* out) -> bool {
+      const char* v = next();
+      if (!v) return false;
+      *out = std::strtod(v, nullptr);
+      return true;
+    };
+    if (arg == "--schema") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      schema_path = v;
+    } else if (arg == "--disks") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      disks_path = v;
+    } else if (arg == "--stream") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      stream_path = v;
+    } else if (arg == "--window") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.window_size = std::atoi(v);
+    } else if (arg == "--drift-threshold") {
+      if (!next_or_die(&config.drift_threshold)) return Usage(argv[0]);
+    } else if (arg == "--promote-threshold-pct") {
+      if (!next_or_die(&config.promote_threshold_pct)) return Usage(argv[0]);
+    } else if (arg == "--promote-windows") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.promote_windows = std::atoi(v);
+    } else if (arg == "--rollback-tolerance-pct") {
+      if (!next_or_die(&config.rollback_tolerance_pct)) return Usage(argv[0]);
+    } else if (arg == "--max-move") {
+      if (!next_or_die(&config.max_move_fraction)) return Usage(argv[0]);
+    } else if (arg == "--observe-only") {
+      config.observe_only = true;
+    } else if (arg == "--deadline-ms") {
+      if (!next_or_die(&config.advise_deadline_ms)) return Usage(argv[0]);
+    } else if (arg == "--max-profile-statements") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.max_profile_statements = std::atoi(v);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.retry.max_retries = std::atoi(v);
+    } else if (arg == "--backoff-base-ms") {
+      if (!next_or_die(&config.retry.backoff_base_ms)) return Usage(argv[0]);
+    } else if (arg == "--backoff-jitter") {
+      if (!next_or_die(&config.retry.backoff_jitter)) return Usage(argv[0]);
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      checkpoint_path = v;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      checkpoint_every = std::atoi(v);
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--final-layout") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      final_layout_path = v;
+    } else if (arg == "--single-session") {
+      single_session = true;
+    } else if (arg == "--journal-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      journal_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      metrics_out = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]);
+      config.num_threads = std::atoi(v);
+    } else if (arg == "--throttle-ms") {
+      if (!next_or_die(&throttle_ms)) return Usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (schema_path.empty() || disks_path.empty() || stream_path.empty()) {
+    return Usage(argv[0]);
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 2;
+  }
+
+  auto fail = [](const char* what, const Status& st) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return 1;
+  };
+  auto fail_input = [](const char* what, const Status& st) {
+    std::fprintf(stderr, "%s: %s\n", what, st.ToString().c_str());
+    return 2;
+  };
+
+  auto schema_text = ReadFile(schema_path);
+  if (!schema_text.ok()) return fail_input("schema", schema_text.status());
+  auto db = ParseSchemaScript("database", schema_text.value());
+  if (!db.ok()) return fail_input("schema", db.status());
+
+  auto disks_text = ReadFile(disks_path);
+  if (!disks_text.ok()) return fail_input("disks", disks_text.status());
+  auto fleet = DiskFleet::FromSpec(disks_text.value(), disks_path);
+  if (!fleet.ok()) return fail_input("disks", fleet.status());
+
+  auto stream_text = ReadFile(stream_path);
+  if (!stream_text.ok()) return fail_input("stream", stream_text.status());
+  auto events = ParseTraceEvents(stream_text.value());
+  if (!events.ok()) return fail_input("stream", events.status());
+
+  // Configuration lint before touching anything: `service-config-sane`
+  // findings go to stderr; error-level ones (configs that cannot work,
+  // e.g. a movement budget below the largest object) refuse to start.
+  {
+    LintRunner runner;
+    runner.AddRule(MakeServiceConfigRule(config));
+    LintInput input;
+    input.db = &db.value();
+    input.fleet = &fleet.value();
+    const auto report = runner.Run(input);
+    if (!report.ok()) return fail_input("lint", report.status());
+    std::vector<Diagnostic> service_findings;
+    for (const Diagnostic& d : report->diagnostics) {
+      if (d.rule_id == "service-config-sane") service_findings.push_back(d);
+    }
+    if (!service_findings.empty()) {
+      LintReport filtered;
+      filtered.diagnostics = service_findings;
+      std::fprintf(stderr, "%s",
+                   RenderLintText(filtered, "dblayout-serve").c_str());
+      if (filtered.CountAtLeast(LintSeverity::kError) > 0) {
+        std::fprintf(stderr,
+                     "serve: refusing to start with an unusable service "
+                     "configuration\n");
+        return 2;
+      }
+    }
+  }
+
+  InstallShutdownHandlers();
+  config.cancel_requested = ShutdownFlag();
+
+  if (!metrics_out.empty()) {
+    obs::SetEnabled(true);
+    obs::StampRunMetadata(config.seed, config.num_threads);
+  }
+
+  std::unique_ptr<obs::EventJournal> journal;
+  if (!journal_out.empty()) {
+    journal = std::make_unique<obs::EventJournal>();
+    const obs::BuildInfo& build = obs::GetBuildInfo();
+    journal->Append(
+        "run_start",
+        {{"v", obs::JsonInt(obs::kJournalSchemaVersion)},
+         {"tool", obs::JsonString("dblayout_serve")},
+         {"seed", obs::JsonInt(static_cast<int64_t>(config.seed))},
+         {"threads", obs::JsonInt(config.num_threads)},
+         {"schema", obs::JsonString(schema_path)},
+         {"stream", obs::JsonString(stream_path)},
+         {"window", obs::JsonInt(config.window_size)},
+         {"observe_only", obs::JsonBool(config.observe_only)},
+         {"objects", obs::JsonInt(static_cast<int64_t>(db->Objects().size()))},
+         {"drives", obs::JsonInt(fleet->num_disks())},
+         {"git_sha", obs::JsonString(build.git_sha)},
+         {"compiler", obs::JsonString(build.compiler)},
+         {"build_type", obs::JsonString(build.build_type)}});
+  }
+
+  // Fresh start, or resume from the last checkpoint (which records how many
+  // stream events were already consumed). --resume with no checkpoint file
+  // yet starts fresh — the crash-recovery script always passes --resume.
+  std::unique_ptr<Supervisor> supervisor;
+  if (resume) {
+    auto snapshot = ReadCheckpoint(checkpoint_path);
+    if (snapshot.ok()) {
+      auto restored = Supervisor::Restore(snapshot.value(), db.value(),
+                                          fleet.value(), config, journal.get());
+      if (!restored.ok()) return fail_input("resume", restored.status());
+      supervisor = std::move(restored.value());
+      std::printf("resumed from %s: %lld statements already consumed, "
+                  "%zu sessions\n",
+                  checkpoint_path.c_str(),
+                  static_cast<long long>(supervisor->statements_consumed()),
+                  supervisor->sessions().size());
+    } else if (snapshot.status().code() == StatusCode::kNotFound) {
+      std::printf("no checkpoint at %s, starting fresh\n",
+                  checkpoint_path.c_str());
+    } else {
+      return fail_input("resume", snapshot.status());
+    }
+  }
+  if (supervisor == nullptr) {
+    supervisor = std::make_unique<Supervisor>(db.value(), fleet.value(), config,
+                                              journal.get());
+  }
+
+  const int64_t start_at = supervisor->statements_consumed();
+  const int64_t total = static_cast<int64_t>(events->size());
+  if (start_at > total) {
+    return fail_input(
+        "resume",
+        Status::InvalidArgument(StrFormat(
+            "checkpoint consumed %lld statements but the stream has only "
+            "%lld — wrong stream for this checkpoint?",
+            static_cast<long long>(start_at), static_cast<long long>(total))));
+  }
+
+  bool interrupted = false;
+  for (int64_t i = start_at; i < total; ++i) {
+    if (ShutdownRequested()) {
+      interrupted = true;
+      break;
+    }
+    const TraceEvent& event = events.value()[static_cast<size_t>(i)];
+    const int session_id = single_session ? 0 : event.session_id;
+    if (Status st = supervisor->OnStatement(session_id, event.sql); !st.ok()) {
+      return fail("serve", st);
+    }
+    if (!checkpoint_path.empty() && checkpoint_every > 0 &&
+        supervisor->statements_consumed() % checkpoint_every == 0) {
+      if (Status st = WriteCheckpointAtomic(supervisor->Snapshot(),
+                                            checkpoint_path);
+          !st.ok()) {
+        return fail("checkpoint", st);
+      }
+    }
+    if (throttle_ms > 0) {
+      // Pacing knob for the crash-recovery smoke test (gives the kill -9 a
+      // window to land mid-stream); never used for correctness.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(throttle_ms * 1000)));
+    }
+  }
+
+  if (!interrupted) {
+    if (Status st = supervisor->FlushAll(); !st.ok()) return fail("flush", st);
+  }
+
+  // Final checkpoint in every outcome (clean end or interrupt): restarting
+  // with --resume continues from exactly here.
+  if (!checkpoint_path.empty()) {
+    if (Status st =
+            WriteCheckpointAtomic(supervisor->Snapshot(), checkpoint_path);
+        !st.ok()) {
+      return fail("checkpoint", st);
+    }
+  }
+
+  std::printf("%s: %lld/%lld statements consumed, %zu sessions\n",
+              interrupted ? "interrupted" : "stream complete",
+              static_cast<long long>(supervisor->statements_consumed()),
+              static_cast<long long>(total), supervisor->sessions().size());
+  std::vector<std::string> object_names;
+  for (const auto& o : db->Objects()) object_names.push_back(o.name);
+  std::string final_layouts;
+  for (const auto& [id, session] : supervisor->sessions()) {
+    std::printf(
+        "  session %d: %lld statements, %d windows, %d advises, "
+        "%d promotions, %d rollbacks, stage %s, mode %s%s%s\n",
+        id, static_cast<long long>(session->statements_ingested()),
+        session->windows_closed(), session->advises(), session->promotions(),
+        session->rollbacks(), GuardrailStageName(session->stage()),
+        SessionModeName(session->mode()),
+        session->mode() == SessionMode::kDegraded ? ": " : "",
+        session->degraded_reason().c_str());
+    final_layouts += StrFormat("# session %d\n", id);
+    final_layouts += session->active_layout().ToCsv(object_names, fleet.value());
+  }
+  if (!final_layout_path.empty()) {
+    if (!WriteFileOrComplain(final_layout_path, final_layouts)) return 1;
+    std::printf("final active layouts written to %s\n",
+                final_layout_path.c_str());
+  }
+
+  if (journal != nullptr) {
+    journal->Append(
+        "run_end",
+        {{"status", obs::JsonString(interrupted ? "interrupted" : "ok")},
+         {"statements", obs::JsonInt(supervisor->statements_consumed())},
+         {"sessions",
+          obs::JsonInt(static_cast<int64_t>(supervisor->sessions().size()))}});
+    if (Status st = journal->WriteFile(journal_out); !st.ok()) {
+      return fail("journal-out", st);
+    }
+    std::printf("journal written to %s (%lld events)\n", journal_out.c_str(),
+                static_cast<long long>(journal->event_count()));
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteFileOrComplain(metrics_out,
+                             obs::MetricsRegistry::Global().RenderPrometheus())) {
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return interrupted ? 130 : 0;
+}
